@@ -1,0 +1,49 @@
+package main
+
+import (
+	"math/cmplx"
+	"strings"
+	"testing"
+)
+
+func TestPanelCovariance(t *testing.T) {
+	a, labelA, err := panelCovariance("a")
+	if err != nil {
+		t.Fatalf("panelCovariance(a): %v", err)
+	}
+	if !strings.Contains(labelA, "22") {
+		t.Errorf("panel a label %q does not reference Eq. (22)", labelA)
+	}
+	if cmplx.Abs(a.At(0, 1)-(0.3782+0.4753i)) > 6e-4 {
+		t.Errorf("panel a K(0,1) = %v, want Eq. (22) value", a.At(0, 1))
+	}
+
+	b, labelB, err := panelCovariance("b")
+	if err != nil {
+		t.Fatalf("panelCovariance(b): %v", err)
+	}
+	if !strings.Contains(labelB, "23") {
+		t.Errorf("panel b label %q does not reference Eq. (23)", labelB)
+	}
+	if cmplx.Abs(b.At(0, 1)-0.8123) > 6e-4 {
+		t.Errorf("panel b K(0,1) = %v, want Eq. (23) value", b.At(0, 1))
+	}
+
+	if _, _, err := panelCovariance("c"); err == nil {
+		t.Errorf("unknown panel did not error")
+	}
+}
+
+func TestFormatMatrixMentionsEntries(t *testing.T) {
+	m, _, err := panelCovariance("b")
+	if err != nil {
+		t.Fatalf("panelCovariance: %v", err)
+	}
+	s := formatMatrix(m)
+	if !strings.Contains(s, "0.8123") {
+		t.Errorf("formatMatrix output does not contain the expected entry:\n%s", s)
+	}
+	if got := strings.Count(s, "\n"); got != 3 {
+		t.Errorf("formatMatrix printed %d rows, want 3", got)
+	}
+}

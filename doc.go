@@ -1,0 +1,28 @@
+// Package rayleigh generates arbitrary numbers of correlated Rayleigh fading
+// envelopes with arbitrary (equal or unequal) powers and any desired
+// covariance matrix of the underlying complex Gaussian processes, following
+//
+//	L. C. Tran, T. A. Wysocki, J. Seberry, A. Mertins,
+//	"A Generalized Algorithm for the Generation of Correlated Rayleigh
+//	Fading Envelopes in Radio Channels", IPDPS 2005.
+//
+// Two generation modes are provided:
+//
+//   - Snapshot mode (Generator): independent draws of N correlated complex
+//     Gaussian samples whose moduli are the Rayleigh envelopes. The desired
+//     covariance matrix does not need to be positive definite — negative
+//     eigenvalues are clamped to zero (the paper's positive semi-definiteness
+//     forcing) and the coloring matrix is obtained by eigendecomposition, so
+//     rank-deficient and indefinite targets are handled without Cholesky.
+//
+//   - Real-time mode (RealTime): every envelope additionally carries the
+//     Jakes autocorrelation J0(2π·fm·d) imposed by Young–Beaulieu IDFT
+//     Doppler generators, and the coloring step accounts for the Doppler
+//     filter's variance gain (Eq. (19) of the paper) so the cross-envelope
+//     covariance still matches the target.
+//
+// Desired covariance matrices can be supplied directly, or built from the
+// physical correlation models of the paper: SpectralCovariance (time delay
+// and frequency separation, as between OFDM subcarriers) and
+// SpatialCovariance (antenna spacing in a transmit array, as in MIMO).
+package rayleigh

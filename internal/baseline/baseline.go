@@ -1,0 +1,91 @@
+// Package baseline implements the conventional correlated-Rayleigh
+// generation methods that the paper reviews in its introduction, with the
+// specific shortcomings the paper attributes to them left intact:
+//
+//   - Salz & Winters [1]: real-valued 2N-dimensional coloring, equal powers
+//     only, requires a positive semi-definite covariance matrix;
+//   - Ertel & Reed [2]: two equal-power envelopes with a real correlation
+//     coefficient;
+//   - Beaulieu & Merani [4]: Cholesky coloring for N >= 2 equal-power
+//     envelopes, requires positive definiteness;
+//   - Natarajan, Nassar & Chandrasekhar [5]: Cholesky coloring with
+//     arbitrary powers but with the covariances forced to be real;
+//   - Sorooshyari & Daut [6]: eigenvalue clamping to a small ε > 0 plus
+//     unit-variance whitening, the method whose real-time combination the
+//     paper corrects.
+//
+// These exist so the benchmark suite can demonstrate, experiment by
+// experiment, where the proposed algorithm succeeds and the conventional
+// methods fail or lose accuracy.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/randx"
+)
+
+// ErrUnsupported reports that a method cannot handle the requested
+// configuration (the shortcoming the paper identifies), as opposed to a
+// numerical failure during setup.
+var ErrUnsupported = errors.New("baseline: configuration not supported by this method")
+
+// ErrSetupFailed reports that a method's decomposition failed (typically
+// Cholesky on a matrix that is not positive definite).
+var ErrSetupFailed = errors.New("baseline: setup failed")
+
+// Method is a conventional generator of N correlated complex Gaussian
+// samples (whose moduli are the Rayleigh envelopes). Setup prepares the
+// method for a desired covariance matrix and may fail; Generate draws one
+// snapshot.
+type Method interface {
+	// Name identifies the method in benchmark reports.
+	Name() string
+	// Setup prepares the method for the desired covariance matrix K of the
+	// complex Gaussian processes.
+	Setup(k *cmplxmat.Matrix) error
+	// Generate draws one vector of N correlated complex Gaussian samples.
+	// Setup must have succeeded first.
+	Generate(rng *randx.RNG) ([]complex128, error)
+}
+
+// equalDiagonal reports whether all diagonal entries (powers) are equal
+// within a relative tolerance, which several conventional methods require.
+func equalDiagonal(k *cmplxmat.Matrix, tol float64) bool {
+	n := k.Rows()
+	if n == 0 {
+		return false
+	}
+	first := real(k.At(0, 0))
+	for i := 1; i < n; i++ {
+		d := real(k.At(i, i))
+		if d < (1-tol)*first || d > (1+tol)*first {
+			return false
+		}
+	}
+	return true
+}
+
+// validateCovariance performs the shared sanity checks.
+func validateCovariance(k *cmplxmat.Matrix) error {
+	if k == nil {
+		return fmt.Errorf("baseline: nil covariance matrix: %w", ErrUnsupported)
+	}
+	if !k.IsSquare() {
+		return fmt.Errorf("baseline: covariance matrix must be square, got %dx%d: %w", k.Rows(), k.Cols(), ErrUnsupported)
+	}
+	if !k.IsHermitian(1e-9 * maxScale(k)) {
+		return fmt.Errorf("baseline: covariance matrix is not Hermitian: %w", ErrUnsupported)
+	}
+	return nil
+}
+
+func maxScale(k *cmplxmat.Matrix) float64 {
+	s := cmplxmat.MaxAbs(k)
+	if s < 1 {
+		return 1
+	}
+	return s
+}

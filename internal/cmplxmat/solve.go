@@ -1,0 +1,143 @@
+package cmplxmat
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+)
+
+// ErrSingular reports that a linear system could not be solved because the
+// coefficient matrix is (numerically) singular.
+var ErrSingular = errors.New("cmplxmat: matrix is singular")
+
+// lu holds an LU factorization with partial pivoting: P·A = L·U where the
+// permutation is stored as a row-index vector.
+type lu struct {
+	lu   *Matrix
+	piv  []int
+	sign int
+}
+
+// factorLU computes the LU factorization of a square matrix using Doolittle's
+// method with partial pivoting.
+func factorLU(a *Matrix) (*lu, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("cmplxmat: LU of %dx%d matrix: %w", a.rows, a.cols, ErrDimension)
+	}
+	n := a.rows
+	m := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+
+	for k := 0; k < n; k++ {
+		// Partial pivoting: choose the row with the largest magnitude pivot.
+		p := k
+		max := cmplx.Abs(m.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(m.At(i, k)); v > max {
+				max = v
+				p = i
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("cmplxmat: zero pivot at column %d: %w", k, ErrSingular)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				tmp := m.At(k, j)
+				m.Set(k, j, m.At(p, j))
+				m.Set(p, j, tmp)
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := m.At(k, k)
+		for i := k + 1; i < n; i++ {
+			factor := m.At(i, k) / pivVal
+			m.Set(i, k, factor)
+			for j := k + 1; j < n; j++ {
+				m.Set(i, j, m.At(i, j)-factor*m.At(k, j))
+			}
+		}
+	}
+	return &lu{lu: m, piv: piv, sign: sign}, nil
+}
+
+// solveVec solves A·x = b using the stored factorization.
+func (f *lu) solveVec(b []complex128) ([]complex128, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("cmplxmat: solve with rhs length %d for %dx%d matrix: %w", len(b), n, n, ErrDimension)
+	}
+	x := make([]complex128, n)
+	// Apply permutation and forward substitution (L has unit diagonal).
+	for i := 0; i < n; i++ {
+		s := b[f.piv[i]]
+		for k := 0; k < i; k++ {
+			s -= f.lu.At(i, k) * x[k]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.lu.At(i, k) * x[k]
+		}
+		x[i] = s / f.lu.At(i, i)
+	}
+	return x, nil
+}
+
+// Solve solves the linear system A·x = b for a square matrix A.
+func Solve(a *Matrix, b []complex128) ([]complex128, error) {
+	f, err := factorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.solveVec(b)
+}
+
+// Inverse returns A⁻¹ for a square non-singular matrix.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := factorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	inv := New(n, n)
+	e := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.solveVec(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Determinant returns det(A) for a square matrix. Singular matrices return 0.
+func Determinant(a *Matrix) (complex128, error) {
+	f, err := factorLU(a)
+	if err != nil {
+		if errors.Is(err, ErrSingular) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	det := complex(float64(f.sign), 0)
+	for i := 0; i < a.rows; i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det, nil
+}

@@ -1,0 +1,129 @@
+package cmplxmat
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randomSquare(rng *rand.Rand, n int) *Matrix {
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	return a
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, n := range []int{1, 2, 5, 10} {
+		a := randomSquare(rng, n)
+		xTrue := make([]complex128, n)
+		for i := range xTrue {
+			xTrue[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		b := MustMulVec(a, xTrue)
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("n=%d Solve: %v", n, err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-xTrue[i]) > 1e-8 {
+				t.Errorf("n=%d component %d: got %v want %v", n, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := MustFromRows([][]complex128{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := Solve(a, []complex128{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("Solve(singular) error = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	if _, err := Solve(New(2, 3), []complex128{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("Solve(rectangular) error = %v, want ErrDimension", err)
+	}
+	if _, err := Solve(Identity(2), []complex128{1, 2, 3}); !errors.Is(err, ErrDimension) {
+		t.Errorf("Solve with wrong rhs length error = %v, want ErrDimension", err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randomSquare(rng, 7)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	prod := MustMul(a, inv)
+	if !EqualApprox(prod, Identity(7), 1e-8) {
+		t.Errorf("A·A⁻¹ deviates from identity by %.3e", FrobeniusDistance(prod, Identity(7)))
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	a := MustFromRows([][]complex128{
+		{1, 2},
+		{3, 4},
+	})
+	det, err := Determinant(a)
+	if err != nil {
+		t.Fatalf("Determinant: %v", err)
+	}
+	if cmplx.Abs(det-(-2)) > 1e-12 {
+		t.Errorf("Determinant = %v, want -2", det)
+	}
+
+	// Known complex determinant: diag entries multiply.
+	d := Diag([]complex128{2i, 3, 1 + 1i})
+	det, err = Determinant(d)
+	if err != nil {
+		t.Fatalf("Determinant: %v", err)
+	}
+	want := 2i * 3 * (1 + 1i)
+	if cmplx.Abs(det-want) > 1e-12 {
+		t.Errorf("Determinant(diag) = %v, want %v", det, want)
+	}
+
+	sing := MustFromRows([][]complex128{
+		{1, 1},
+		{1, 1},
+	})
+	det, err = Determinant(sing)
+	if err != nil {
+		t.Fatalf("Determinant(singular): %v", err)
+	}
+	if det != 0 {
+		t.Errorf("Determinant(singular) = %v, want 0", det)
+	}
+}
+
+func TestDeterminantMatchesEigenvaluesForHermitian(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	a := randomHermitian(rng, 5)
+	e, err := EigenHermitian(a)
+	if err != nil {
+		t.Fatalf("EigenHermitian: %v", err)
+	}
+	prod := 1.0
+	for _, v := range e.Values {
+		prod *= v
+	}
+	det, err := Determinant(a)
+	if err != nil {
+		t.Fatalf("Determinant: %v", err)
+	}
+	if math.Abs(real(det)-prod) > 1e-8*math.Max(1, math.Abs(prod)) || math.Abs(imag(det)) > 1e-8 {
+		t.Errorf("Determinant %v vs eigenvalue product %g", det, prod)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/randx"
+)
+
+// Snapshot holds one draw of the generator: the N correlated complex
+// Gaussian samples Z = (z_1, …, z_N)ᵀ and their moduli, the Rayleigh
+// envelopes r_j = |z_j|.
+type Snapshot struct {
+	Gaussian  []complex128
+	Envelopes []float64
+}
+
+// SnapshotConfig configures a SnapshotGenerator.
+type SnapshotConfig struct {
+	// Covariance is the desired covariance matrix K of the complex Gaussian
+	// processes (Eq. (12)–(13)). It must be Hermitian; it does not need to be
+	// positive (semi-)definite.
+	Covariance *cmplxmat.Matrix
+	// SampleVariance is the "arbitrary, equal variance σ²_g" of the i.i.d.
+	// complex Gaussian samples generated in step 6. Any positive value yields
+	// the same output statistics because step 7 divides by σ_g; it is
+	// configurable to mirror the paper exactly and to drive the real-time
+	// combination. Zero selects 1.
+	SampleVariance float64
+	// Seed seeds the internal random stream.
+	Seed int64
+}
+
+// SnapshotGenerator implements steps 3–7 of the algorithm in Section 4.4 for
+// the single-time-instant (snapshot) scenario: consecutive snapshots are
+// mutually independent but each follows the desired covariance matrix.
+type SnapshotGenerator struct {
+	forced    *ForcedPSD
+	coloring  *cmplxmat.Matrix // L/σ_g, applied directly to W
+	rawL      *cmplxmat.Matrix // L itself (diagnostics)
+	sampleVar float64
+	rng       *randx.RNG
+	n         int
+}
+
+// NewSnapshotGenerator validates the configuration, forces positive
+// semi-definiteness of the covariance matrix and precomputes the coloring
+// matrix.
+func NewSnapshotGenerator(cfg SnapshotConfig) (*SnapshotGenerator, error) {
+	if cfg.Covariance == nil {
+		return nil, fmt.Errorf("core: nil covariance matrix: %w", ErrBadInput)
+	}
+	sampleVar := cfg.SampleVariance
+	if sampleVar == 0 {
+		sampleVar = 1
+	}
+	if sampleVar < 0 {
+		return nil, fmt.Errorf("core: negative sample variance %g: %w", sampleVar, ErrBadInput)
+	}
+	l, forced, err := ColoringFromCovariance(cfg.Covariance)
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := ScaleColoring(l, sampleVar)
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotGenerator{
+		forced:    forced,
+		coloring:  scaled,
+		rawL:      l,
+		sampleVar: sampleVar,
+		rng:       randx.New(cfg.Seed),
+		n:         cfg.Covariance.Rows(),
+	}, nil
+}
+
+// N returns the number of envelopes generated per snapshot.
+func (g *SnapshotGenerator) N() int { return g.n }
+
+// Diagnostics returns the positive semi-definiteness forcing record for the
+// covariance matrix, including the Frobenius approximation error when
+// clamping was necessary.
+func (g *SnapshotGenerator) Diagnostics() *ForcedPSD { return g.forced }
+
+// ColoringMatrix returns the unscaled coloring matrix L (L·Lᴴ = K̄).
+func (g *SnapshotGenerator) ColoringMatrix() *cmplxmat.Matrix { return g.rawL.Clone() }
+
+// SampleVariance returns the σ²_g used for the raw Gaussian samples.
+func (g *SnapshotGenerator) SampleVariance() float64 { return g.sampleVar }
+
+// Generate produces one snapshot: steps 6 and 7 of the algorithm.
+func (g *SnapshotGenerator) Generate() Snapshot {
+	w := g.rng.ComplexNormalVector(g.n, g.sampleVar)
+	return g.color(w)
+}
+
+// GenerateFromSamples applies steps 7 to a caller-supplied vector W of
+// (nominally i.i.d.) complex Gaussian samples whose variance matches the
+// generator's SampleVariance. This is the entry point used by the real-time
+// combination of Section 5, where W comes from the Doppler generators.
+func (g *SnapshotGenerator) GenerateFromSamples(w []complex128) (Snapshot, error) {
+	if len(w) != g.n {
+		return Snapshot{}, fmt.Errorf("core: %d samples for %d envelopes: %w", len(w), g.n, ErrBadInput)
+	}
+	return g.color(w), nil
+}
+
+// color applies Z = (L/σ_g)·W and extracts the envelopes.
+func (g *SnapshotGenerator) color(w []complex128) Snapshot {
+	z := cmplxmat.MustMulVec(g.coloring, w)
+	env := make([]float64, g.n)
+	for i, v := range z {
+		env[i] = cmplx.Abs(v)
+	}
+	return Snapshot{Gaussian: z, Envelopes: env}
+}
+
+// GenerateBatch produces count independent snapshots.
+func (g *SnapshotGenerator) GenerateBatch(count int) ([]Snapshot, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("core: batch count %d must be positive: %w", count, ErrBadInput)
+	}
+	out := make([]Snapshot, count)
+	for i := range out {
+		out[i] = g.Generate()
+	}
+	return out, nil
+}
+
+// NewSnapshotGeneratorFromEnvelopePowers builds the desired covariance matrix
+// from a correlation-coefficient matrix of the Gaussians and desired Rayleigh
+// envelope variances σr²_j: the Gaussian powers follow Eq. (11) and the
+// off-diagonal covariances are ρ_{k,j}·σg_k·σg_j. This is the "start from
+// envelope powers" entry point announced in step 1 of the algorithm.
+func NewSnapshotGeneratorFromEnvelopePowers(correlation *cmplxmat.Matrix, envelopeVariances []float64, seed int64) (*SnapshotGenerator, error) {
+	if correlation == nil {
+		return nil, fmt.Errorf("core: nil correlation matrix: %w", ErrBadInput)
+	}
+	n := correlation.Rows()
+	if !correlation.IsSquare() || n != len(envelopeVariances) {
+		return nil, fmt.Errorf("core: correlation matrix %dx%d with %d envelope variances: %w",
+			correlation.Rows(), correlation.Cols(), len(envelopeVariances), ErrBadInput)
+	}
+	gaussPowers, err := EnvelopePowersToGaussianPowers(envelopeVariances)
+	if err != nil {
+		return nil, err
+	}
+	k, err := CovarianceFromCorrelation(correlation, gaussPowers)
+	if err != nil {
+		return nil, err
+	}
+	return NewSnapshotGenerator(SnapshotConfig{Covariance: k, Seed: seed})
+}
+
+// CovarianceFromCorrelation builds K from a correlation-coefficient matrix ρ
+// and per-process Gaussian powers: K_{k,j} = ρ_{k,j}·sqrt(σg²_k·σg²_j), with
+// the diagonal forced to the powers themselves.
+func CovarianceFromCorrelation(correlation *cmplxmat.Matrix, gaussianPowers []float64) (*cmplxmat.Matrix, error) {
+	n := correlation.Rows()
+	if !correlation.IsSquare() || n != len(gaussianPowers) {
+		return nil, fmt.Errorf("core: correlation matrix %dx%d with %d powers: %w",
+			correlation.Rows(), correlation.Cols(), len(gaussianPowers), ErrBadInput)
+	}
+	k := cmplxmat.New(n, n)
+	for i := 0; i < n; i++ {
+		if gaussianPowers[i] <= 0 {
+			return nil, fmt.Errorf("core: Gaussian power %d is %g, must be positive: %w", i, gaussianPowers[i], ErrBadInput)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				k.Set(i, i, complex(gaussianPowers[i], 0))
+				continue
+			}
+			scale := complex(sqrtProduct(gaussianPowers[i], gaussianPowers[j]), 0)
+			k.Set(i, j, correlation.At(i, j)*scale)
+		}
+	}
+	k.Hermitize()
+	return k, nil
+}
+
+func sqrtProduct(a, b float64) float64 {
+	return math.Sqrt(a) * math.Sqrt(b)
+}

@@ -1,0 +1,196 @@
+package corrmodel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cmplxmat"
+)
+
+func TestGaussianEntryFormula(t *testing.T) {
+	// μ = (Rxx + Ryy) − i(Rxy − Ryx), Eq. (13).
+	cc := CrossCovariance{Rxx: 0.2, Ryy: 0.3, Rxy: 0.1, Ryx: -0.05}
+	want := complex(0.5, -(0.1 - (-0.05)))
+	if got := cc.GaussianEntry(); cmplx.Abs(got-want) > 1e-15 {
+		t.Errorf("GaussianEntry = %v, want %v", got, want)
+	}
+}
+
+func TestBuildCovarianceDiagonalAndHermitian(t *testing.T) {
+	model := UncorrelatedModel{N: 4}
+	powers := []float64{1, 2, 0.5, 3}
+	k, err := BuildCovariance(model, powers)
+	if err != nil {
+		t.Fatalf("BuildCovariance: %v", err)
+	}
+	for i, p := range powers {
+		if math.Abs(real(k.At(i, i))-p) > 1e-15 {
+			t.Errorf("diagonal %d = %v, want %g", i, k.At(i, i), p)
+		}
+	}
+	if !k.IsHermitian(0) {
+		t.Errorf("covariance of uncorrelated model is not Hermitian")
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j && k.At(i, j) != 0 {
+				t.Errorf("uncorrelated model produced non-zero off-diagonal (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildCovarianceErrors(t *testing.T) {
+	model := UncorrelatedModel{N: 3}
+	if _, err := BuildCovariance(model, []float64{1, 2}); err == nil {
+		t.Errorf("power-count mismatch did not error")
+	}
+	if _, err := BuildCovariance(model, []float64{1, -1, 2}); err == nil {
+		t.Errorf("negative power did not error")
+	}
+	if _, err := BuildCovariance(UncorrelatedModel{N: 0}, nil); err == nil {
+		t.Errorf("zero-size model did not error")
+	}
+}
+
+func TestNewExplicitRoundTrip(t *testing.T) {
+	pairs := [][]CrossCovariance{
+		{{}, {Rxx: 0.1, Ryy: 0.1, Rxy: 0.05, Ryx: -0.05}},
+		{{Rxx: 0.1, Ryy: 0.1, Rxy: -0.05, Ryx: 0.05}, {}},
+	}
+	model, err := NewExplicit(pairs)
+	if err != nil {
+		t.Fatalf("NewExplicit: %v", err)
+	}
+	if model.Size() != 2 {
+		t.Errorf("Size = %d, want 2", model.Size())
+	}
+	k, err := BuildCovariance(model, []float64{1, 1})
+	if err != nil {
+		t.Fatalf("BuildCovariance: %v", err)
+	}
+	want := complex(0.2, -0.1)
+	if cmplx.Abs(k.At(0, 1)-want) > 1e-15 {
+		t.Errorf("K(0,1) = %v, want %v", k.At(0, 1), want)
+	}
+	if cmplx.Abs(k.At(1, 0)-cmplx.Conj(want)) > 1e-15 {
+		t.Errorf("K(1,0) = %v, want %v", k.At(1, 0), cmplx.Conj(want))
+	}
+}
+
+func TestNewExplicitErrors(t *testing.T) {
+	if _, err := NewExplicit(nil); err == nil {
+		t.Errorf("NewExplicit(nil) did not error")
+	}
+	if _, err := NewExplicit([][]CrossCovariance{{{}, {}}, {{}}}); err == nil {
+		t.Errorf("ragged table did not error")
+	}
+	model, err := NewExplicit([][]CrossCovariance{{{}}})
+	if err != nil {
+		t.Fatalf("NewExplicit: %v", err)
+	}
+	if _, err := model.Pair(0, 5); err == nil {
+		t.Errorf("out-of-range Pair did not error")
+	}
+}
+
+func TestUncorrelatedModelOutOfRange(t *testing.T) {
+	m := UncorrelatedModel{N: 2}
+	if _, err := m.Pair(2, 0); err == nil {
+		t.Errorf("out-of-range Pair did not error")
+	}
+}
+
+func TestCorrelationCoefficientMatrix(t *testing.T) {
+	k := cmplxmat.MustFromRows([][]complex128{
+		{4, 2 + 2i},
+		{2 - 2i, 1},
+	})
+	rho, err := CorrelationCoefficientMatrix(k)
+	if err != nil {
+		t.Fatalf("CorrelationCoefficientMatrix: %v", err)
+	}
+	if cmplx.Abs(rho.At(0, 0)-1) > 1e-14 || cmplx.Abs(rho.At(1, 1)-1) > 1e-14 {
+		t.Errorf("diagonal of correlation matrix is not 1: %v", rho.DiagVals())
+	}
+	want := (2 + 2i) / 2 // sqrt(4·1) = 2
+	if cmplx.Abs(rho.At(0, 1)-want) > 1e-14 {
+		t.Errorf("rho(0,1) = %v, want %v", rho.At(0, 1), want)
+	}
+
+	if _, err := CorrelationCoefficientMatrix(cmplxmat.New(2, 3)); err == nil {
+		t.Errorf("rectangular input did not error")
+	}
+	bad := cmplxmat.MustFromRows([][]complex128{{0, 0}, {0, 1}})
+	if _, err := CorrelationCoefficientMatrix(bad); err == nil {
+		t.Errorf("zero variance did not error")
+	}
+}
+
+func TestPropertyBuiltCovarianceAlwaysHermitian(t *testing.T) {
+	// For any spectral model parameters, the assembled covariance matrix must
+	// be Hermitian with the requested powers on its diagonal.
+	f := func(seed int64) bool {
+		rng := newTestRand(seed)
+		n := 2 + rng.Intn(5)
+		freqs := make([]float64, n)
+		delays := make([][]float64, n)
+		for i := range freqs {
+			freqs[i] = 900e6 + float64(rng.Intn(100))*100e3
+			delays[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := rng.Float64() * 5e-3
+				delays[i][j] = d
+				delays[j][i] = d
+			}
+		}
+		m := &SpectralModel{
+			MaxDopplerHz:   rng.Float64() * 200,
+			RMSDelaySpread: rng.Float64() * 5e-6,
+			Power:          0.5 + rng.Float64()*3,
+			Frequencies:    freqs,
+			Delays:         delays,
+		}
+		res, err := m.Covariance()
+		if err != nil {
+			return false
+		}
+		if !res.Matrix.IsHermitian(1e-12) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(real(res.Matrix.At(i, i))-m.Power) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySpatialCovarianceHermitian(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRand(seed)
+		m := &SpatialModel{
+			N:                  2 + rng.Intn(5),
+			SpacingWavelengths: 0.1 + rng.Float64()*3,
+			AngularSpread:      0.05 + rng.Float64()*(math.Pi-0.05),
+			MeanAngle:          (rng.Float64()*2 - 1) * math.Pi,
+			Power:              0.5 + rng.Float64()*2,
+		}
+		res, err := m.Covariance()
+		if err != nil {
+			return false
+		}
+		return res.Matrix.IsHermitian(1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package corrmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/specfunc"
+)
+
+// SpatialModel implements the Salz–Winters spatial-correlation model of
+// Section 3 of the paper (Eq. (5)–(7)): correlation between the fades seen
+// from a uniform linear array of transmit antennas when the signals arrive
+// within an angular spread ±Δ around a mean angle Φ.
+//
+// The normalized covariances (Eq. (5)–(6)) are
+//
+//	R̃xx_{k,j} = J0(z·(k−j)) + 2·Σ_{m>=1} J_{2m}(z·(k−j))·cos(2mΦ)·sin(2mΔ)/(2mΔ)
+//	R̃xy_{k,j} = 2·Σ_{m>=0} J_{2m+1}(z·(k−j))·sin((2m+1)Φ)·sin((2m+1)Δ)/((2m+1)Δ)
+//
+// with z = 2π·D/λ and R_{k,j} = σ²·R̃_{k,j}/2 (Eq. (7)).
+type SpatialModel struct {
+	// N is the number of transmit antennas (Rayleigh envelopes).
+	N int
+	// SpacingWavelengths is D/λ, the antenna spacing in carrier wavelengths.
+	SpacingWavelengths float64
+	// AngularSpread is Δ in radians (half-width of the arrival cone).
+	AngularSpread float64
+	// MeanAngle is Φ in radians (|Φ| <= π).
+	MeanAngle float64
+	// Power is the common Gaussian power σ² of the processes.
+	Power float64
+
+	// MaxTerms bounds the series summation; zero selects a default that is
+	// ample for any spacing used in practice.
+	MaxTerms int
+}
+
+// defaultSpatialTerms is the series length used when MaxTerms is zero. The
+// Bessel functions J_q(x) decay super-exponentially once q exceeds x, so for
+// spacings up to tens of wavelengths a fixed bound of a few hundred terms is
+// far beyond convergence.
+const defaultSpatialTerms = 256
+
+// seriesTol stops the spatial series once additional terms are negligible.
+const seriesTol = 1e-14
+
+// Validate checks the model parameters.
+func (m *SpatialModel) Validate() error {
+	if m.N <= 0 {
+		return fmt.Errorf("corrmodel: spatial model with N = %d antennas: %w", m.N, ErrBadParameter)
+	}
+	if m.SpacingWavelengths < 0 {
+		return fmt.Errorf("corrmodel: negative antenna spacing %g: %w", m.SpacingWavelengths, ErrBadParameter)
+	}
+	if m.AngularSpread <= 0 || m.AngularSpread > math.Pi {
+		return fmt.Errorf("corrmodel: angular spread %g rad outside (0, π]: %w", m.AngularSpread, ErrBadParameter)
+	}
+	if math.Abs(m.MeanAngle) > math.Pi {
+		return fmt.Errorf("corrmodel: mean angle %g rad outside [−π, π]: %w", m.MeanAngle, ErrBadParameter)
+	}
+	if m.Power <= 0 {
+		return fmt.Errorf("corrmodel: non-positive power %g: %w", m.Power, ErrBadParameter)
+	}
+	return nil
+}
+
+// Size implements PairModel.
+func (m *SpatialModel) Size() int { return m.N }
+
+// terms returns the series bound in effect.
+func (m *SpatialModel) terms() int {
+	if m.MaxTerms > 0 {
+		return m.MaxTerms
+	}
+	return defaultSpatialTerms
+}
+
+// NormalizedXX returns R̃xx_{k,j} of Eq. (5) for antenna separation (k−j).
+func (m *SpatialModel) NormalizedXX(k, j int) float64 {
+	z := 2 * math.Pi * m.SpacingWavelengths
+	x := z * float64(k-j)
+	sum := specfunc.BesselJ0(x)
+	for q := 1; q <= m.terms(); q++ {
+		arg := 2 * float64(q) * m.AngularSpread
+		term := 2 * specfunc.BesselJn(2*q, x) * math.Cos(2*float64(q)*m.MeanAngle) * math.Sin(arg) / arg
+		sum += term
+		if math.Abs(term) < seriesTol && q > 4 {
+			break
+		}
+	}
+	return sum
+}
+
+// NormalizedXY returns R̃xy_{k,j} of Eq. (6) for antenna separation (k−j).
+func (m *SpatialModel) NormalizedXY(k, j int) float64 {
+	z := 2 * math.Pi * m.SpacingWavelengths
+	x := z * float64(k-j)
+	sum := 0.0
+	for q := 0; q <= m.terms(); q++ {
+		o := 2*float64(q) + 1
+		arg := o * m.AngularSpread
+		term := 2 * specfunc.BesselJn(2*q+1, x) * math.Sin(o*m.MeanAngle) * math.Sin(arg) / arg
+		sum += term
+		if math.Abs(term) < seriesTol && q > 4 {
+			break
+		}
+	}
+	return sum
+}
+
+// Pair implements PairModel: the un-normalized covariances follow Eq. (7),
+// R = σ²·R̃/2, with Ryy = Rxx and Ryx = −Rxy as stated below Eq. (6).
+func (m *SpatialModel) Pair(k, j int) (CrossCovariance, error) {
+	if k < 0 || k >= m.N || j < 0 || j >= m.N {
+		return CrossCovariance{}, fmt.Errorf("corrmodel: pair (%d,%d) out of range for %d antennas: %w", k, j, m.N, ErrBadParameter)
+	}
+	scale := m.Power / 2
+	rxx := scale * m.NormalizedXX(k, j)
+	rxy := scale * m.NormalizedXY(k, j)
+	return CrossCovariance{
+		Rxx: rxx,
+		Ryy: rxx,
+		Rxy: rxy,
+		Ryx: -rxy,
+	}, nil
+}
+
+// Covariance builds the full complex covariance matrix K for the array with
+// every antenna at the common power σ² (Eq. (12)–(13)). For Φ = 0 the matrix
+// is real, as in the paper's Eq. (23).
+func (m *SpatialModel) Covariance() (*CovarianceResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	powers := make([]float64, m.N)
+	for i := range powers {
+		powers[i] = m.Power
+	}
+	k, err := BuildCovariance(m, powers)
+	if err != nil {
+		return nil, err
+	}
+	return &CovarianceResult{Matrix: k, GaussianPowers: powers}, nil
+}

@@ -1,0 +1,155 @@
+package corrmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/specfunc"
+)
+
+// SpectralModel implements the Jakes spectral-correlation model of Section 2
+// of the paper (Eq. (3)–(4)): the correlation between two complex Gaussian
+// fading processes observed at carrier frequencies f_k and f_j with an
+// arrival time delay τ_{k,j}, in a channel with maximum Doppler shift Fm and
+// RMS delay spread στ. All processes share the power σ².
+//
+//	Rxx_{k,j} = Ryy_{k,j} = σ²·J0(2π·Fm·τ_{k,j}) / (2·[1 + (Δω_{k,j}·στ)²])
+//	Rxy_{k,j} = −Ryx_{k,j} = −Δω_{k,j}·στ·Rxx_{k,j}
+//
+// with Δω_{k,j} = 2π·(f_k − f_j).
+type SpectralModel struct {
+	// MaxDopplerHz is the maximum Doppler shift Fm = v·fc/c in Hz.
+	MaxDopplerHz float64
+	// RMSDelaySpread is στ in seconds.
+	RMSDelaySpread float64
+	// Power is the common Gaussian power σ² of the processes.
+	Power float64
+	// Frequencies holds the carrier frequency of each process in Hz.
+	Frequencies []float64
+	// Delays[k][j] is the arrival time delay τ_{k,j} in seconds between
+	// processes k and j. Only off-diagonal entries are read; the matrix
+	// should be symmetric (τ_{k,j} = τ_{j,k}).
+	Delays [][]float64
+}
+
+// Validate checks the physical parameters for consistency.
+func (m *SpectralModel) Validate() error {
+	n := len(m.Frequencies)
+	if n == 0 {
+		return fmt.Errorf("corrmodel: spectral model needs at least one frequency: %w", ErrBadParameter)
+	}
+	if m.MaxDopplerHz < 0 {
+		return fmt.Errorf("corrmodel: negative maximum Doppler %g Hz: %w", m.MaxDopplerHz, ErrBadParameter)
+	}
+	if m.RMSDelaySpread < 0 {
+		return fmt.Errorf("corrmodel: negative RMS delay spread %g s: %w", m.RMSDelaySpread, ErrBadParameter)
+	}
+	if m.Power <= 0 {
+		return fmt.Errorf("corrmodel: non-positive power %g: %w", m.Power, ErrBadParameter)
+	}
+	if len(m.Delays) != n {
+		return fmt.Errorf("corrmodel: delay table has %d rows, want %d: %w", len(m.Delays), n, ErrBadParameter)
+	}
+	for i, row := range m.Delays {
+		if len(row) != n {
+			return fmt.Errorf("corrmodel: delay row %d has %d entries, want %d: %w", i, len(row), n, ErrBadParameter)
+		}
+	}
+	return nil
+}
+
+// Size implements PairModel.
+func (m *SpectralModel) Size() int { return len(m.Frequencies) }
+
+// Pair implements PairModel, evaluating Eq. (3)–(4).
+func (m *SpectralModel) Pair(k, j int) (CrossCovariance, error) {
+	n := len(m.Frequencies)
+	if k < 0 || k >= n || j < 0 || j >= n {
+		return CrossCovariance{}, fmt.Errorf("corrmodel: pair (%d,%d) out of range for %d frequencies: %w", k, j, n, ErrBadParameter)
+	}
+	tau := m.Delays[k][j]
+	deltaOmega := 2 * math.Pi * (m.Frequencies[k] - m.Frequencies[j])
+	dws := deltaOmega * m.RMSDelaySpread
+
+	rxx := m.Power * specfunc.BesselJ0(2*math.Pi*m.MaxDopplerHz*tau) / (2 * (1 + dws*dws))
+	rxy := -dws * rxx
+	return CrossCovariance{
+		Rxx: rxx,
+		Ryy: rxx,
+		Rxy: rxy,
+		Ryx: -rxy,
+	}, nil
+}
+
+// Covariance builds the full complex covariance matrix K for the model with
+// every process at the common power σ² (Eq. (12)–(13)). This is the matrix
+// the paper evaluates in Eq. (22).
+func (m *SpectralModel) Covariance() (*CovarianceResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.Size()
+	powers := make([]float64, n)
+	for i := range powers {
+		powers[i] = m.Power
+	}
+	k, err := BuildCovariance(m, powers)
+	if err != nil {
+		return nil, err
+	}
+	return &CovarianceResult{Matrix: k, GaussianPowers: powers}, nil
+}
+
+// UniformSpectralParams describes the common benchmark setup of the paper's
+// Section 6: N carriers separated by a constant frequency spacing with
+// pairwise arrival delays given per carrier index difference. It is a
+// convenience constructor for SpectralModel.
+type UniformSpectralParams struct {
+	// N is the number of carriers (Rayleigh envelopes).
+	N int
+	// CarrierSpacingHz is the separation between adjacent carriers; carrier k
+	// has frequency f0 − k·spacing following the paper's f1 > f2 > f3
+	// convention (the base frequency cancels out of Eq. (3)–(4)).
+	CarrierSpacingHz float64
+	// MaxDopplerHz is Fm.
+	MaxDopplerHz float64
+	// RMSDelaySpread is στ in seconds.
+	RMSDelaySpread float64
+	// Power is the common Gaussian power σ².
+	Power float64
+	// PairDelays[k][j] is τ_{k,j} in seconds.
+	PairDelays [][]float64
+}
+
+// NewUniformSpectral builds a SpectralModel from UniformSpectralParams.
+func NewUniformSpectral(p UniformSpectralParams) (*SpectralModel, error) {
+	if p.N <= 0 {
+		return nil, fmt.Errorf("corrmodel: N = %d: %w", p.N, ErrBadParameter)
+	}
+	freqs := make([]float64, p.N)
+	for i := range freqs {
+		// Descending frequencies (f1 > f2 > ... ), matching the paper; the
+		// absolute offset is irrelevant because only differences enter the
+		// model.
+		freqs[i] = -float64(i) * p.CarrierSpacingHz
+	}
+	m := &SpectralModel{
+		MaxDopplerHz:   p.MaxDopplerHz,
+		RMSDelaySpread: p.RMSDelaySpread,
+		Power:          p.Power,
+		Frequencies:    freqs,
+		Delays:         p.PairDelays,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CovarianceResult bundles a covariance matrix with the Gaussian powers that
+// were placed on its diagonal.
+type CovarianceResult struct {
+	Matrix         *cmplxmat.Matrix
+	GaussianPowers []float64
+}

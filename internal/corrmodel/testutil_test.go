@@ -1,0 +1,8 @@
+package corrmodel
+
+import "math/rand"
+
+// newTestRand returns a deterministic *rand.Rand for property tests.
+func newTestRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

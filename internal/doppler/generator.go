@@ -1,0 +1,94 @@
+package doppler
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/randx"
+)
+
+// Generator is the single-envelope Rayleigh fading generator of Fig. 2 of
+// the paper (the Young–Beaulieu IDFT model): M i.i.d. real Gaussian samples
+// A[k] and B[k] are weighted by the Doppler filter coefficients F[k], the
+// complex spectrum U[k] = F[k]·A[k] − i·F[k]·B[k] is inverse-transformed, and
+// the resulting time sequence u[l] is a zero-mean complex Gaussian process
+// with the Jakes autocorrelation J0(2π·fm·d).
+type Generator struct {
+	spec       FilterSpec
+	sigmaOrig2 float64
+	coeffs     []float64
+	outputVar  float64
+}
+
+// NewGenerator builds a Generator for the given filter spec and input
+// variance σ²_orig (the variance of each real Gaussian sequence feeding the
+// filter).
+func NewGenerator(spec FilterSpec, sigmaOrig2 float64) (*Generator, error) {
+	if sigmaOrig2 <= 0 {
+		return nil, fmt.Errorf("doppler: input variance %g must be positive: %w", sigmaOrig2, ErrBadParameter)
+	}
+	coeffs, err := spec.Coefficients()
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{
+		spec:       spec,
+		sigmaOrig2: sigmaOrig2,
+		coeffs:     coeffs,
+		outputVar:  OutputVariance(coeffs, spec.M, sigmaOrig2),
+	}, nil
+}
+
+// Spec returns the filter specification.
+func (g *Generator) Spec() FilterSpec { return g.spec }
+
+// Coefficients returns the Doppler filter coefficients (shared storage; do
+// not modify).
+func (g *Generator) Coefficients() []float64 { return g.coeffs }
+
+// OutputVariance returns σ²_g of Eq. (19) for this generator. This value is
+// what step 6 of the combined algorithm (Section 5) must use when whitening
+// the filtered samples before coloring.
+func (g *Generator) OutputVariance() float64 { return g.outputVar }
+
+// BlockLength returns the number of time samples produced per block (M).
+func (g *Generator) BlockLength() int { return g.spec.M }
+
+// Block generates one block of M time-domain samples u[0..M−1] using fresh
+// Gaussian input from rng. Each call produces an independent block.
+func (g *Generator) Block(rng *randx.RNG) []complex128 {
+	m := g.spec.M
+	std := math.Sqrt(g.sigmaOrig2)
+	spectrum := make([]complex128, m)
+	for k := 0; k < m; k++ {
+		if g.coeffs[k] == 0 {
+			continue
+		}
+		a := rng.Normal(0, std)
+		b := rng.Normal(0, std)
+		// U[k] = F[k]·A[k] − i·F[k]·B[k]
+		spectrum[k] = complex(g.coeffs[k]*a, -g.coeffs[k]*b)
+	}
+	return dsp.IFFT(spectrum)
+}
+
+// TheoreticalLagCorrelation returns the unnormalized theoretical
+// autocorrelation of the real (or imaginary) part at the given lag,
+// Eq. (16): r_RR[d] = σ²_orig/M · Re{g[d]}, where g is the IDFT of F².
+func (g *Generator) TheoreticalLagCorrelation(lag int) float64 {
+	m := g.spec.M
+	sq := make([]complex128, m)
+	for k, c := range g.coeffs {
+		sq[k] = complex(c*c, 0)
+	}
+	gd := dsp.IFFT(sq)
+	idx := ((lag % m) + m) % m
+	return g.sigmaOrig2 / float64(m) * real(gd[idx])
+}
+
+// NormalizedAutocorrelation returns the theoretical normalized
+// autocorrelation r_RR[d]/σ²_g ≈ J0(2π·fm·d) (Eq. (20)).
+func (g *Generator) NormalizedAutocorrelation(lag int) float64 {
+	return 2 * g.TheoreticalLagCorrelation(lag) / g.outputVar
+}

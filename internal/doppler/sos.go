@@ -1,0 +1,101 @@
+package doppler
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+)
+
+// SumOfSinusoids is the classical Clarke/Jakes sum-of-sinusoids Rayleigh
+// fading simulator, provided as an alternative to (and ablation baseline
+// for) the Young–Beaulieu IDFT generator used by the paper. Each of the
+// Tones propagation paths has a Doppler shift fm·cos(α) with a uniformly
+// distributed arrival angle α and independent uniform phases for the real
+// and imaginary accumulators (the improved statistical model of Pop &
+// Beaulieu), so the output is a zero-mean complex Gaussian process with the
+// Jakes autocorrelation in the limit of many tones.
+//
+// Relative to the IDFT model (Fig. 2 of the paper) the sum-of-sinusoids
+// generator needs no block structure — it can be evaluated at any time index
+// — but it converges to the ideal J0 autocorrelation only as O(1/sqrt(Tones))
+// and its per-sample cost grows linearly with the number of tones. The
+// ablation benchmark quantifies this trade-off.
+type SumOfSinusoids struct {
+	// NormalizedDoppler is fm = Fm/Fs.
+	NormalizedDoppler float64
+	// Tones is the number of sinusoids; typical values are 8–64.
+	Tones int
+	// Power is the total output power E|u|²; zero selects 1.
+	Power float64
+
+	angles  []float64
+	phasesI []float64
+	phasesQ []float64
+}
+
+// NewSumOfSinusoids draws the random path angles and phases for a simulator
+// instance. Distinct instances built from independent RNG streams produce
+// independent fading processes.
+func NewSumOfSinusoids(fm float64, tones int, power float64, rng *randx.RNG) (*SumOfSinusoids, error) {
+	if fm <= 0 || fm >= 0.5 {
+		return nil, fmt.Errorf("doppler: normalized Doppler %g outside (0, 0.5): %w", fm, ErrBadParameter)
+	}
+	if tones < 1 {
+		return nil, fmt.Errorf("doppler: %d tones: %w", tones, ErrBadParameter)
+	}
+	if power < 0 {
+		return nil, fmt.Errorf("doppler: negative power %g: %w", power, ErrBadParameter)
+	}
+	if power == 0 {
+		power = 1
+	}
+	s := &SumOfSinusoids{
+		NormalizedDoppler: fm,
+		Tones:             tones,
+		Power:             power,
+		angles:            make([]float64, tones),
+		phasesI:           make([]float64, tones),
+		phasesQ:           make([]float64, tones),
+	}
+	for k := 0; k < tones; k++ {
+		// Random arrival angles give an ergodic process whose time-averaged
+		// autocorrelation approaches J0; the independent I/Q phases keep the
+		// real and imaginary parts uncorrelated.
+		s.angles[k] = rng.UniformPhase()
+		s.phasesI[k] = rng.UniformPhase()
+		s.phasesQ[k] = rng.UniformPhase()
+	}
+	return s, nil
+}
+
+// Sample returns the complex fading gain at discrete time index l.
+func (s *SumOfSinusoids) Sample(l int) complex128 {
+	t := float64(l)
+	var re, im float64
+	for k := 0; k < s.Tones; k++ {
+		arg := 2 * math.Pi * s.NormalizedDoppler * math.Cos(s.angles[k]) * t
+		re += math.Cos(arg + s.phasesI[k])
+		im += math.Sin(arg + s.phasesQ[k])
+	}
+	// Each accumulator has variance Tones/2 before scaling (independent
+	// uniform phases), so sqrt(Power/Tones) gives Power/2 per dimension and
+	// the designed total power.
+	scale := math.Sqrt(s.Power / float64(s.Tones))
+	return complex(scale*re, scale*im)
+}
+
+// Block returns length consecutive samples starting at time index start.
+func (s *SumOfSinusoids) Block(start, length int) ([]complex128, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("doppler: block length %d: %w", length, ErrBadParameter)
+	}
+	out := make([]complex128, length)
+	for i := range out {
+		out[i] = s.Sample(start + i)
+	}
+	return out, nil
+}
+
+// TheoreticalPower returns the designed output power E|u|².
+func (s *SumOfSinusoids) TheoreticalPower() float64 { return s.Power }

@@ -1,0 +1,188 @@
+package doppler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/randx"
+	"repro/internal/specfunc"
+)
+
+func TestNewSumOfSinusoidsValidation(t *testing.T) {
+	rng := randx.New(1)
+	if _, err := NewSumOfSinusoids(0, 16, 1, rng); err == nil {
+		t.Errorf("zero Doppler did not error")
+	}
+	if _, err := NewSumOfSinusoids(0.6, 16, 1, rng); err == nil {
+		t.Errorf("Doppler >= 0.5 did not error")
+	}
+	if _, err := NewSumOfSinusoids(0.05, 0, 1, rng); err == nil {
+		t.Errorf("zero tones did not error")
+	}
+	if _, err := NewSumOfSinusoids(0.05, 8, -1, rng); err == nil {
+		t.Errorf("negative power did not error")
+	}
+	s, err := NewSumOfSinusoids(0.05, 8, 0, rng)
+	if err != nil {
+		t.Fatalf("NewSumOfSinusoids: %v", err)
+	}
+	if s.TheoreticalPower() != 1 {
+		t.Errorf("default power = %g, want 1", s.TheoreticalPower())
+	}
+}
+
+func TestSumOfSinusoidsBlock(t *testing.T) {
+	rng := randx.New(2)
+	s, err := NewSumOfSinusoids(0.05, 16, 2, rng)
+	if err != nil {
+		t.Fatalf("NewSumOfSinusoids: %v", err)
+	}
+	blk, err := s.Block(0, 100)
+	if err != nil || len(blk) != 100 {
+		t.Fatalf("Block: %d samples, %v", len(blk), err)
+	}
+	if _, err := s.Block(0, 0); err == nil {
+		t.Errorf("zero-length block did not error")
+	}
+	// Blocks are deterministic for a constructed instance.
+	blk2, err := s.Block(0, 100)
+	if err != nil {
+		t.Fatalf("Block: %v", err)
+	}
+	for i := range blk {
+		if blk[i] != blk2[i] {
+			t.Fatalf("repeated Block calls differ at sample %d", i)
+		}
+	}
+	// Continuity: Block(50, 10) must equal samples 50..59 of Block(0, 100).
+	tail, err := s.Block(50, 10)
+	if err != nil {
+		t.Fatalf("Block: %v", err)
+	}
+	for i := range tail {
+		if tail[i] != blk[50+i] {
+			t.Fatalf("Block(50,·) is not a continuation of Block(0,·)")
+		}
+	}
+}
+
+func TestSumOfSinusoidsPowerConverges(t *testing.T) {
+	// Average |u|² over many independent instances and long blocks must
+	// approach the designed power.
+	root := randx.New(3)
+	const power = 1.5
+	var acc float64
+	const instances = 40
+	const length = 2000
+	for i := 0; i < instances; i++ {
+		s, err := NewSumOfSinusoids(0.05, 32, power, root.Split())
+		if err != nil {
+			t.Fatalf("NewSumOfSinusoids: %v", err)
+		}
+		blk, err := s.Block(0, length)
+		if err != nil {
+			t.Fatalf("Block: %v", err)
+		}
+		acc += dsp.MeanPower(blk)
+	}
+	acc /= instances
+	if math.Abs(acc-power) > 0.08*power {
+		t.Errorf("mean power %g, want %g", acc, power)
+	}
+}
+
+func TestSumOfSinusoidsAutocorrelationApproachesJ0(t *testing.T) {
+	// Ensemble-averaged autocorrelation over many independent instances must
+	// track J0(2π·fm·d) for small lags. Tolerance reflects the O(1/sqrt(N))
+	// convergence of the sum-of-sinusoids model.
+	root := randx.New(4)
+	const fm = 0.05
+	const maxLag = 30
+	const instances = 60
+	const length = 3000
+	acc := make([]float64, maxLag+1)
+	for i := 0; i < instances; i++ {
+		s, err := NewSumOfSinusoids(fm, 32, 1, root.Split())
+		if err != nil {
+			t.Fatalf("NewSumOfSinusoids: %v", err)
+		}
+		blk, err := s.Block(0, length)
+		if err != nil {
+			t.Fatalf("Block: %v", err)
+		}
+		r, err := dsp.AutocorrelationFFT(blk, maxLag)
+		if err != nil {
+			t.Fatalf("AutocorrelationFFT: %v", err)
+		}
+		for d := 0; d <= maxLag; d++ {
+			acc[d] += real(r[d]) / real(r[0])
+		}
+	}
+	for d := 0; d <= maxLag; d++ {
+		got := acc[d] / instances
+		want := specfunc.BesselJ0(2 * math.Pi * fm * float64(d))
+		if math.Abs(got-want) > 0.1 {
+			t.Errorf("lag %d: SoS autocorrelation %g vs J0 %g", d, got, want)
+		}
+	}
+}
+
+func TestSumOfSinusoidsEnvelopeIsApproximatelyRayleigh(t *testing.T) {
+	// With 32+ tones the central limit theorem makes the envelope close to
+	// Rayleigh: the normalized second and fourth moments of the envelope
+	// should approach 1 and 2 (Rayleigh kurtosis of the complex Gaussian).
+	root := randx.New(5)
+	var m2, m4 float64
+	var count int
+	for i := 0; i < 40; i++ {
+		s, err := NewSumOfSinusoids(0.05, 64, 1, root.Split())
+		if err != nil {
+			t.Fatalf("NewSumOfSinusoids: %v", err)
+		}
+		blk, err := s.Block(0, 1000)
+		if err != nil {
+			t.Fatalf("Block: %v", err)
+		}
+		for _, z := range blk {
+			p := real(z)*real(z) + imag(z)*imag(z)
+			m2 += p
+			m4 += p * p
+			count++
+		}
+	}
+	m2 /= float64(count)
+	m4 /= float64(count)
+	// For a complex Gaussian with power P: E|z|⁴ = 2·P².
+	ratio := m4 / (m2 * m2)
+	if math.Abs(ratio-2) > 0.15 {
+		t.Errorf("normalized fourth moment %g, want ≈ 2 (Rayleigh envelope)", ratio)
+	}
+}
+
+func TestSumOfSinusoidsIndependentInstancesUncorrelated(t *testing.T) {
+	root := randx.New(6)
+	a, err := NewSumOfSinusoids(0.05, 32, 1, root.Split())
+	if err != nil {
+		t.Fatalf("NewSumOfSinusoids: %v", err)
+	}
+	b, err := NewSumOfSinusoids(0.05, 32, 1, root.Split())
+	if err != nil {
+		t.Fatalf("NewSumOfSinusoids: %v", err)
+	}
+	ba, err := a.Block(0, 5000)
+	if err != nil {
+		t.Fatalf("Block: %v", err)
+	}
+	bb, err := b.Block(0, 5000)
+	if err != nil {
+		t.Fatalf("Block: %v", err)
+	}
+	cross, err := dsp.CrossCorrelationAtLag(ba, bb, 0)
+	if err != nil {
+		t.Fatalf("CrossCorrelationAtLag: %v", err)
+	}
+	if math.Hypot(real(cross), imag(cross)) > 0.15 {
+		t.Errorf("independent instances correlated: %v", cross)
+	}
+}

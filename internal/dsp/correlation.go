@@ -1,0 +1,106 @@
+package dsp
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Autocorrelation returns the biased sample autocorrelation of a complex
+// sequence at lags 0..maxLag,
+//
+//	r[d] = (1/M) Σ_{l=0}^{M-1-d} x[l+d]·conj(x[l]),
+//
+// the estimator whose expectation matches Eq. (16)–(18) of the paper for the
+// Young–Beaulieu generator output.
+func Autocorrelation(x []complex128, maxLag int) ([]complex128, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("dsp: Autocorrelation of empty sequence")
+	}
+	if maxLag < 0 || maxLag >= n {
+		return nil, fmt.Errorf("dsp: Autocorrelation maxLag %d out of range for length %d", maxLag, n)
+	}
+	out := make([]complex128, maxLag+1)
+	for d := 0; d <= maxLag; d++ {
+		var sum complex128
+		for l := 0; l+d < n; l++ {
+			sum += x[l+d] * cmplx.Conj(x[l])
+		}
+		out[d] = sum / complex(float64(n), 0)
+	}
+	return out, nil
+}
+
+// AutocorrelationFFT computes the same biased autocorrelation using the
+// Wiener–Khinchin relation (FFT of the zero-padded sequence, squared
+// magnitude, inverse FFT). It is O(M log M) and used for long sequences.
+func AutocorrelationFFT(x []complex128, maxLag int) ([]complex128, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("dsp: AutocorrelationFFT of empty sequence")
+	}
+	if maxLag < 0 || maxLag >= n {
+		return nil, fmt.Errorf("dsp: AutocorrelationFFT maxLag %d out of range for length %d", maxLag, n)
+	}
+	m := NextPowerOfTwo(2 * n)
+	padded := make([]complex128, m)
+	copy(padded, x)
+	spec := FFT(padded)
+	for i, v := range spec {
+		spec[i] = v * cmplx.Conj(v)
+	}
+	corr := IFFT(spec)
+	out := make([]complex128, maxLag+1)
+	for d := 0; d <= maxLag; d++ {
+		out[d] = corr[d] / complex(float64(n), 0)
+	}
+	return out, nil
+}
+
+// CrossCorrelationAtLag returns (1/M) Σ x[l+d]·conj(y[l]) for a single lag d
+// (d may be negative, in which case y leads x).
+func CrossCorrelationAtLag(x, y []complex128, d int) (complex128, error) {
+	if err := CheckLengthMatch("CrossCorrelationAtLag", len(x), len(y)); err != nil {
+		return 0, err
+	}
+	n := len(x)
+	if n == 0 {
+		return 0, fmt.Errorf("dsp: CrossCorrelationAtLag of empty sequences")
+	}
+	if d <= -n || d >= n {
+		return 0, fmt.Errorf("dsp: lag %d out of range for length %d", d, n)
+	}
+	var sum complex128
+	if d >= 0 {
+		for l := 0; l+d < n; l++ {
+			sum += x[l+d] * cmplx.Conj(y[l])
+		}
+	} else {
+		for l := -d; l < n; l++ {
+			sum += x[l+d] * cmplx.Conj(y[l])
+		}
+	}
+	return sum / complex(float64(n), 0), nil
+}
+
+// PowerSpectralDensity returns the periodogram |X[k]|²/M of the sequence.
+func PowerSpectralDensity(x []complex128) []float64 {
+	spec := FFT(x)
+	out := make([]float64, len(spec))
+	for i, v := range spec {
+		out[i] = (real(v)*real(v) + imag(v)*imag(v)) / float64(len(x))
+	}
+	return out
+}
+
+// MeanPower returns (1/M) Σ |x[l]|², the average power of the sequence.
+func MeanPower(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s / float64(len(x))
+}

@@ -1,0 +1,158 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestAutocorrelationLagZeroIsPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomComplexSlice(rng, 500)
+	r, err := Autocorrelation(x, 0)
+	if err != nil {
+		t.Fatalf("Autocorrelation: %v", err)
+	}
+	if math.Abs(real(r[0])-MeanPower(x)) > 1e-10 {
+		t.Errorf("r[0] = %g, want mean power %g", real(r[0]), MeanPower(x))
+	}
+	if math.Abs(imag(r[0])) > 1e-10 {
+		t.Errorf("r[0] has imaginary part %g", imag(r[0]))
+	}
+}
+
+func TestAutocorrelationKnownSequence(t *testing.T) {
+	// x = [1, 1, 1, 1]: biased autocorrelation r[d] = (4-d)/4.
+	x := []complex128{1, 1, 1, 1}
+	r, err := Autocorrelation(x, 3)
+	if err != nil {
+		t.Fatalf("Autocorrelation: %v", err)
+	}
+	for d := 0; d <= 3; d++ {
+		want := float64(4-d) / 4
+		if cmplx.Abs(r[d]-complex(want, 0)) > 1e-12 {
+			t.Errorf("r[%d] = %v, want %g", d, r[d], want)
+		}
+	}
+}
+
+func TestAutocorrelationFFTMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{10, 33, 128, 400} {
+		x := randomComplexSlice(rng, n)
+		maxLag := n / 3
+		direct, err := Autocorrelation(x, maxLag)
+		if err != nil {
+			t.Fatalf("Autocorrelation: %v", err)
+		}
+		fast, err := AutocorrelationFFT(x, maxLag)
+		if err != nil {
+			t.Fatalf("AutocorrelationFFT: %v", err)
+		}
+		for d := 0; d <= maxLag; d++ {
+			if cmplx.Abs(direct[d]-fast[d]) > 1e-8 {
+				t.Errorf("n=%d lag %d: direct %v vs FFT %v", n, d, direct[d], fast[d])
+			}
+		}
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation(nil, 0); err == nil {
+		t.Errorf("Autocorrelation(empty) did not error")
+	}
+	if _, err := Autocorrelation(make([]complex128, 5), 5); err == nil {
+		t.Errorf("Autocorrelation with maxLag >= len did not error")
+	}
+	if _, err := Autocorrelation(make([]complex128, 5), -1); err == nil {
+		t.Errorf("Autocorrelation with negative maxLag did not error")
+	}
+	if _, err := AutocorrelationFFT(nil, 0); err == nil {
+		t.Errorf("AutocorrelationFFT(empty) did not error")
+	}
+	if _, err := AutocorrelationFFT(make([]complex128, 5), 7); err == nil {
+		t.Errorf("AutocorrelationFFT with maxLag >= len did not error")
+	}
+}
+
+func TestCrossCorrelationAtLag(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	y := []complex128{1, 1, 1, 1}
+	// lag 0: mean of x[l]*conj(y[l]) = (1+2+3+4)/4 = 2.5
+	v, err := CrossCorrelationAtLag(x, y, 0)
+	if err != nil {
+		t.Fatalf("CrossCorrelationAtLag: %v", err)
+	}
+	if cmplx.Abs(v-2.5) > 1e-12 {
+		t.Errorf("lag 0 = %v, want 2.5", v)
+	}
+	// lag 1: (x[1]+x[2]+x[3])/4 = 9/4
+	v, err = CrossCorrelationAtLag(x, y, 1)
+	if err != nil {
+		t.Fatalf("CrossCorrelationAtLag: %v", err)
+	}
+	if cmplx.Abs(v-2.25) > 1e-12 {
+		t.Errorf("lag 1 = %v, want 2.25", v)
+	}
+	// negative lag: x[l-1]*conj(y[l]) summed over l=1..3 → (1+2+3)/4
+	v, err = CrossCorrelationAtLag(x, y, -1)
+	if err != nil {
+		t.Fatalf("CrossCorrelationAtLag: %v", err)
+	}
+	if cmplx.Abs(v-1.5) > 1e-12 {
+		t.Errorf("lag -1 = %v, want 1.5", v)
+	}
+
+	if _, err := CrossCorrelationAtLag(x, y[:3], 0); err == nil {
+		t.Errorf("length mismatch did not error")
+	}
+	if _, err := CrossCorrelationAtLag(x, y, 4); err == nil {
+		t.Errorf("lag out of range did not error")
+	}
+	if _, err := CrossCorrelationAtLag(nil, nil, 0); err == nil {
+		t.Errorf("empty input did not error")
+	}
+}
+
+func TestAutocorrelationOfTone(t *testing.T) {
+	// For x[l]=exp(i·ω·l), the biased autocorrelation is
+	// r[d] = exp(i·ω·d)·(M−d)/M.
+	n := 256
+	omega := 2 * math.Pi * 10 / float64(n)
+	x := make([]complex128, n)
+	for l := range x {
+		x[l] = cmplx.Exp(complex(0, omega*float64(l)))
+	}
+	r, err := Autocorrelation(x, 20)
+	if err != nil {
+		t.Fatalf("Autocorrelation: %v", err)
+	}
+	for d := 0; d <= 20; d++ {
+		want := cmplx.Exp(complex(0, omega*float64(d))) * complex(float64(n-d)/float64(n), 0)
+		if cmplx.Abs(r[d]-want) > 1e-9 {
+			t.Errorf("tone autocorrelation lag %d: got %v want %v", d, r[d], want)
+		}
+	}
+}
+
+func TestPowerSpectralDensityParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randomComplexSlice(rng, 128)
+	psd := PowerSpectralDensity(x)
+	var sum float64
+	for _, p := range psd {
+		sum += p
+	}
+	// Σ_k |X[k]|²/M = Σ_l |x[l]|² = M · MeanPower.
+	want := MeanPower(x) * float64(len(x))
+	if math.Abs(sum-want) > 1e-8*want {
+		t.Errorf("PSD sum %g, want %g", sum, want)
+	}
+}
+
+func TestMeanPowerEmpty(t *testing.T) {
+	if MeanPower(nil) != 0 {
+		t.Errorf("MeanPower(nil) != 0")
+	}
+}

@@ -1,0 +1,189 @@
+// Package dsp provides the signal-processing substrate of the real-time
+// fading generator: discrete Fourier transforms (radix-2 and Bluestein),
+// inverse transforms with the 1/M normalization used by the Young–Beaulieu
+// IDFT generator, autocorrelation estimation and power spectral densities.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x,
+//
+//	X[k] = Σ_{l=0}^{M-1} x[l]·exp(−i·2π·k·l/M),
+//
+// for any length (power-of-two lengths use the radix-2 algorithm, other
+// lengths fall back to Bluestein's chirp-z transform). The input is not
+// modified.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT returns the inverse discrete Fourier transform of X with the 1/M
+// normalization of the paper (Section 5),
+//
+//	x[l] = (1/M) Σ_{k=0}^{M-1} X[k]·exp(+i·2π·k·l/M).
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, true)
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// DFT computes the transform by direct summation in O(M²). It exists as an
+// independently-written oracle for the FFT tests and for very short lengths.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for l := 0; l < n; l++ {
+			angle := -2 * math.Pi * float64(k) * float64(l) / float64(n)
+			sum += x[l] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// fftInPlace dispatches to radix-2 or Bluestein depending on the length.
+// inverse selects the +i exponent (without normalization).
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// radix2 performs an iterative in-place Cooley–Tukey FFT for power-of-two
+// lengths.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	logN := bits.TrailingZeros(uint(n))
+
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				even := x[start+k]
+				odd := x[start+k+half] * w
+				x[start+k] = even + odd
+				x[start+k+half] = even - odd
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein evaluates the DFT of arbitrary length via the chirp-z transform,
+// which reduces the problem to a cyclic convolution of power-of-two length.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+
+	// Chirp w[l] = exp(sign·i·π·l²/n). l² is taken modulo 2n to keep the
+	// argument bounded for large l.
+	w := make([]complex128, n)
+	for l := 0; l < n; l++ {
+		sq := int64(l) * int64(l) % int64(2*n)
+		angle := sign * math.Pi * float64(sq) / float64(n)
+		w[l] = cmplx.Exp(complex(0, angle))
+	}
+
+	// Convolution length: next power of two >= 2n-1.
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for l := 0; l < n; l++ {
+		a[l] = x[l] * w[l]
+		b[l] = cmplx.Conj(w[l])
+	}
+	for l := 1; l < n; l++ {
+		b[m-l] = cmplx.Conj(w[l])
+	}
+
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for l := 0; l < n; l++ {
+		x[l] = a[l] * scale * w[l]
+	}
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n (and 1 for n <= 1).
+func NextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FFTReal transforms a real-valued sequence by promoting it to complex.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+// CheckLengthMatch returns an error when two sequences that must be processed
+// together have different lengths. Shared by the correlation helpers.
+func CheckLengthMatch(name string, a, b int) error {
+	if a != b {
+		return fmt.Errorf("dsp: %s length mismatch: %d vs %d", name, a, b)
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomComplexSlice(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	X := FFT(x)
+	for k, v := range X {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("FFT(impulse)[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTConstant(t *testing.T) {
+	// FFT of a constant is an impulse of height M at k=0.
+	n := 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 2.5
+	}
+	X := FFT(x)
+	if cmplx.Abs(X[0]-complex(2.5*float64(n), 0)) > 1e-10 {
+		t.Errorf("FFT(constant)[0] = %v, want %v", X[0], 2.5*float64(n))
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(X[k]) > 1e-10 {
+			t.Errorf("FFT(constant)[%d] = %v, want 0", k, X[k])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin k0 transforms to an impulse at k0.
+	n := 64
+	k0 := 5
+	x := make([]complex128, n)
+	for l := range x {
+		x[l] = cmplx.Exp(complex(0, 2*math.Pi*float64(k0)*float64(l)/float64(n)))
+	}
+	X := FFT(x)
+	for k := range X {
+		want := complex128(0)
+		if k == k0 {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(X[k]-want) > 1e-9 {
+			t.Errorf("FFT(tone)[%d] = %v, want %v", k, X[k], want)
+		}
+	}
+}
+
+func TestFFTMatchesDFTPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		x := randomComplexSlice(rng, n)
+		if d := maxAbsDiff(FFT(x), DFT(x)); d > 1e-9 {
+			t.Errorf("n=%d FFT differs from DFT by %g", n, d)
+		}
+	}
+}
+
+func TestFFTMatchesDFTArbitraryLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 6, 7, 12, 17, 50, 100, 127} {
+		x := randomComplexSlice(rng, n)
+		if d := maxAbsDiff(FFT(x), DFT(x)); d > 1e-8 {
+			t.Errorf("n=%d Bluestein FFT differs from DFT by %g", n, d)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 7, 16, 48, 256, 1000} {
+		x := randomComplexSlice(rng, n)
+		back := IFFT(FFT(x))
+		if d := maxAbsDiff(back, x); d > 1e-9 {
+			t.Errorf("n=%d IFFT∘FFT error %g", n, d)
+		}
+	}
+}
+
+func TestFFTDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randomComplexSlice(rng, 33)
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	FFT(x)
+	IFFT(x)
+	if maxAbsDiff(x, orig) != 0 {
+		t.Errorf("FFT/IFFT modified their input")
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if out := FFT(nil); out != nil {
+		t.Errorf("FFT(nil) = %v, want nil", out)
+	}
+	if out := IFFT(nil); out != nil {
+		t.Errorf("IFFT(nil) = %v, want nil", out)
+	}
+	single := []complex128{3 + 4i}
+	if out := FFT(single); cmplx.Abs(out[0]-single[0]) > 1e-15 {
+		t.Errorf("FFT of length 1 changed the value")
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Σ|x[l]|² == (1/M)·Σ|X[k]|².
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		x := randomComplexSlice(rng, n)
+		X := FFT(x)
+		var timeE, freqE float64
+		for _, v := range x {
+			timeE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		for _, v := range X {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqE /= float64(n)
+		return math.Abs(timeE-freqE) < 1e-8*math.Max(1, timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(128)
+		x := randomComplexSlice(rng, n)
+		y := randomComplexSlice(rng, n)
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a*x[i] + y[i]
+		}
+		lhs := FFT(sum)
+		fx := FFT(x)
+		fy := FFT(y)
+		for i := range lhs {
+			if cmplx.Abs(lhs[i]-(a*fx[i]+fy[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 100: 128, 4096: 4096, 4097: 8192}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFFTReal(t *testing.T) {
+	x := []float64{1, 0, -1, 0}
+	X := FFTReal(x)
+	// DC must be zero, bin 1 must be real 2 (cosine at Nyquist/2).
+	if cmplx.Abs(X[0]) > 1e-12 {
+		t.Errorf("FFTReal DC = %v, want 0", X[0])
+	}
+	if cmplx.Abs(X[1]-2) > 1e-12 {
+		t.Errorf("FFTReal bin1 = %v, want 2", X[1])
+	}
+}
+
+func TestCheckLengthMatch(t *testing.T) {
+	if err := CheckLengthMatch("x", 3, 3); err != nil {
+		t.Errorf("CheckLengthMatch(3,3) = %v", err)
+	}
+	if err := CheckLengthMatch("x", 3, 4); err == nil {
+		t.Errorf("CheckLengthMatch(3,4) did not error")
+	}
+}

@@ -1,0 +1,118 @@
+package mimo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cmplxmat"
+)
+
+func TestSimulateAlamoutiValidation(t *testing.T) {
+	if _, err := SimulateAlamoutiBER(AlamoutiConfig{Symbols: 100}); err == nil {
+		t.Errorf("nil covariance did not error")
+	}
+	if _, err := SimulateAlamoutiBER(AlamoutiConfig{
+		TxCovariance: cmplxmat.Identity(3), Symbols: 100,
+	}); err == nil {
+		t.Errorf("3x3 covariance did not error")
+	}
+	if _, err := SimulateAlamoutiBER(AlamoutiConfig{
+		TxCovariance: cmplxmat.Identity(2), Symbols: 1,
+	}); err == nil {
+		t.Errorf("single symbol did not error")
+	}
+}
+
+func TestAlamoutiMatchesTheoryForIndependentAntennas(t *testing.T) {
+	const snr = 10.0
+	res, err := SimulateAlamoutiBER(AlamoutiConfig{
+		TxCovariance: cmplxmat.Identity(2),
+		SNRdB:        snr,
+		Symbols:      400000,
+		QuasiStatic:  true,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatalf("SimulateAlamoutiBER: %v", err)
+	}
+	want := TheoreticalAlamoutiIndependentBER(snr)
+	if res.BER < 0.6*want || res.BER > 1.6*want {
+		t.Errorf("Alamouti BER %g, theory %g", res.BER, want)
+	}
+}
+
+func TestAlamoutiTransmitCorrelationDegradesBER(t *testing.T) {
+	const snr = 10.0
+	const symbols = 300000
+	indep, err := SimulateAlamoutiBER(AlamoutiConfig{
+		TxCovariance: cmplxmat.Identity(2),
+		SNRdB:        snr, Symbols: symbols, QuasiStatic: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatalf("SimulateAlamoutiBER: %v", err)
+	}
+	correlated, err := SimulateAlamoutiBER(AlamoutiConfig{
+		TxCovariance: cmplxmat.MustFromRows([][]complex128{
+			{1, 0.95},
+			{0.95, 1},
+		}),
+		SNRdB: snr, Symbols: symbols, QuasiStatic: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("SimulateAlamoutiBER: %v", err)
+	}
+	if correlated.BER < 1.5*indep.BER {
+		t.Errorf("transmit correlation should degrade Alamouti: correlated %g vs independent %g",
+			correlated.BER, indep.BER)
+	}
+}
+
+func TestAlamoutiBetterThanSingleAntennaAtModerateSNR(t *testing.T) {
+	const snr = 12.0
+	res, err := SimulateAlamoutiBER(AlamoutiConfig{
+		TxCovariance: cmplxmat.Identity(2),
+		SNRdB:        snr, Symbols: 300000, QuasiStatic: true, Seed: 4,
+	})
+	if err != nil {
+		t.Fatalf("SimulateAlamoutiBER: %v", err)
+	}
+	single := TheoreticalBPSKRayleighBER(snr)
+	if res.BER >= single {
+		t.Errorf("Alamouti (%g) not better than single antenna (%g) at %g dB", res.BER, single, snr)
+	}
+}
+
+func TestAlamoutiNonQuasiStaticRaisesErrors(t *testing.T) {
+	// Redrawing the channel within an Alamouti block violates the scheme's
+	// assumption and must visibly raise the BER.
+	const snr = 15.0
+	const symbols = 200000
+	static, err := SimulateAlamoutiBER(AlamoutiConfig{
+		TxCovariance: cmplxmat.Identity(2),
+		SNRdB:        snr, Symbols: symbols, QuasiStatic: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("SimulateAlamoutiBER: %v", err)
+	}
+	varying, err := SimulateAlamoutiBER(AlamoutiConfig{
+		TxCovariance: cmplxmat.Identity(2),
+		SNRdB:        snr, Symbols: symbols, QuasiStatic: false, Seed: 6,
+	})
+	if err != nil {
+		t.Fatalf("SimulateAlamoutiBER: %v", err)
+	}
+	if varying.BER < 3*static.BER {
+		t.Errorf("breaking the quasi-static assumption should raise the BER: %g vs %g", varying.BER, static.BER)
+	}
+}
+
+func TestTheoreticalAlamoutiRelationToMRC(t *testing.T) {
+	// The Alamouti curve equals the 2-branch MRC curve shifted right by 3 dB.
+	for _, snr := range []float64{5.0, 10.0, 20.0} {
+		a := TheoreticalAlamoutiIndependentBER(snr)
+		m := TheoreticalMRCIndependentBER(snr-3.0103, 2)
+		if math.Abs(a-m)/m > 1e-3 {
+			t.Errorf("Alamouti theory at %g dB = %g, want MRC at −3 dB = %g", snr, a, m)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package mimo
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/corrmodel"
+	"repro/internal/stats"
+)
+
+func paperSpatial() corrmodel.SpatialModel {
+	return corrmodel.SpatialModel{
+		SpacingWavelengths: 1,
+		AngularSpread:      math.Pi / 18,
+		MeanAngle:          0,
+		Power:              1,
+	}
+}
+
+func TestNewChannelValidation(t *testing.T) {
+	if _, err := NewChannel(ChannelConfig{TxAntennas: 0, RxAntennas: 2, Spatial: paperSpatial()}); err == nil {
+		t.Errorf("zero transmit antennas did not error")
+	}
+	if _, err := NewChannel(ChannelConfig{TxAntennas: 2, RxAntennas: 0, Spatial: paperSpatial()}); err == nil {
+		t.Errorf("zero receive antennas did not error")
+	}
+	bad := paperSpatial()
+	bad.AngularSpread = -1
+	if _, err := NewChannel(ChannelConfig{TxAntennas: 2, RxAntennas: 2, Spatial: bad}); err == nil {
+		t.Errorf("invalid spatial model did not error")
+	}
+}
+
+func TestChannelDimsAndDraw(t *testing.T) {
+	ch, err := NewChannel(ChannelConfig{TxAntennas: 3, RxAntennas: 2, Spatial: paperSpatial(), Seed: 1})
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	nr, nt := ch.Dims()
+	if nr != 2 || nt != 3 {
+		t.Errorf("Dims = (%d,%d), want (2,3)", nr, nt)
+	}
+	h := ch.Draw()
+	if h.Rows() != 2 || h.Cols() != 3 {
+		t.Errorf("Draw dims = %dx%d", h.Rows(), h.Cols())
+	}
+	many, err := ch.DrawMany(5)
+	if err != nil || len(many) != 5 {
+		t.Errorf("DrawMany = %d matrices, %v", len(many), err)
+	}
+	if _, err := ch.DrawMany(0); err == nil {
+		t.Errorf("DrawMany(0) did not error")
+	}
+	// The transmit covariance must be the paper's Eq. (23) matrix.
+	want := cmplxmat.MustFromRows([][]complex128{
+		{1, 0.8123, 0.3730},
+		{0.8123, 1, 0.8123},
+		{0.3730, 0.8123, 1},
+	})
+	if !cmplxmat.EqualApprox(ch.TxCovariance(), want, 6e-4) {
+		t.Errorf("TxCovariance does not match Eq. (23)")
+	}
+}
+
+func TestChannelRowCovarianceMatchesSpatialModel(t *testing.T) {
+	ch, err := NewChannel(ChannelConfig{TxAntennas: 3, RxAntennas: 1, Spatial: paperSpatial(), Seed: 2})
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	const draws = 60000
+	samples := make([][]complex128, draws)
+	for i := range samples {
+		samples[i] = ch.Draw().Row(0)
+	}
+	cov, err := stats.SampleCovariance(samples)
+	if err != nil {
+		t.Fatalf("SampleCovariance: %v", err)
+	}
+	cmp, err := stats.CompareCovariance(cov, ch.TxCovariance())
+	if err != nil {
+		t.Fatalf("CompareCovariance: %v", err)
+	}
+	if cmp.MaxAbs > 0.04 {
+		t.Errorf("row covariance deviates from the spatial model by %g", cmp.MaxAbs)
+	}
+}
+
+func TestChannelRowsIndependent(t *testing.T) {
+	ch, err := NewChannel(ChannelConfig{TxAntennas: 2, RxAntennas: 2, Spatial: paperSpatial(), Seed: 3})
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	const draws = 50000
+	var cross complex128
+	var power float64
+	for i := 0; i < draws; i++ {
+		h := ch.Draw()
+		// Correlation between the same transmit antenna seen by the two
+		// receive antennas must vanish.
+		cross += h.At(0, 0) * cmplx.Conj(h.At(1, 0))
+		power += real(h.At(0, 0))*real(h.At(0, 0)) + imag(h.At(0, 0))*imag(h.At(0, 0))
+	}
+	rho := cmplx.Abs(cross) / power
+	if rho > 0.03 {
+		t.Errorf("receive rows are correlated: |ρ| = %g", rho)
+	}
+}

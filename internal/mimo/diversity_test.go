@@ -1,0 +1,152 @@
+package mimo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cmplxmat"
+)
+
+func TestTheoreticalBERFormulas(t *testing.T) {
+	// Single branch at high SNR behaves like 1/(4γ̄).
+	for _, snr := range []float64{20.0, 30.0} {
+		g := math.Pow(10, snr/10)
+		got := TheoreticalBPSKRayleighBER(snr)
+		want := 1 / (4 * g)
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("BPSK Rayleigh BER at %g dB = %g, want ≈ %g", snr, got, want)
+		}
+	}
+	// L-branch MRC with L = 1 must reduce to the single-branch formula.
+	for _, snr := range []float64{0.0, 10.0, 20.0} {
+		if d := math.Abs(TheoreticalMRCIndependentBER(snr, 1) - TheoreticalBPSKRayleighBER(snr)); d > 1e-12 {
+			t.Errorf("MRC(L=1) differs from single branch at %g dB by %g", snr, d)
+		}
+	}
+	// Diversity order: doubling branches must reduce the BER sharply at
+	// moderate SNR.
+	if TheoreticalMRCIndependentBER(10, 2) >= TheoreticalBPSKRayleighBER(10)/2 {
+		t.Errorf("2-branch MRC does not show diversity gain")
+	}
+	if !math.IsNaN(TheoreticalMRCIndependentBER(10, 0)) {
+		t.Errorf("MRC with zero branches should be NaN")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {3, 5, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("binomial(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestSimulateDiversityBERValidation(t *testing.T) {
+	if _, err := SimulateDiversityBER(DiversityConfig{Symbols: 10}); err == nil {
+		t.Errorf("nil covariance did not error")
+	}
+	if _, err := SimulateDiversityBER(DiversityConfig{
+		BranchCovariance: cmplxmat.Identity(2), Symbols: 0,
+	}); err == nil {
+		t.Errorf("zero symbols did not error")
+	}
+	if _, err := SimulateDiversityBER(DiversityConfig{
+		BranchCovariance: cmplxmat.Identity(2), Symbols: 10, Scheme: CombiningScheme(99),
+	}); err == nil {
+		t.Errorf("unknown combining scheme did not error")
+	}
+}
+
+func TestSimulatedMRCMatchesTheoryForIndependentBranches(t *testing.T) {
+	// With an identity branch covariance the simulated MRC BER must track the
+	// closed-form independent-branch expression.
+	const snr = 10.0
+	res, err := SimulateDiversityBER(DiversityConfig{
+		BranchCovariance: cmplxmat.Identity(2),
+		SNRdB:            snr,
+		Scheme:           MaximalRatio,
+		Symbols:          400000,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatalf("SimulateDiversityBER: %v", err)
+	}
+	want := TheoreticalMRCIndependentBER(snr, 2)
+	if res.BER < 0.5*want || res.BER > 1.8*want {
+		t.Errorf("independent 2-branch MRC BER = %g, theory %g", res.BER, want)
+	}
+	if res.Symbols != 400000 || res.BitErrors != int(res.BER*400000+0.5) {
+		t.Errorf("result bookkeeping inconsistent: %+v", res)
+	}
+}
+
+func TestCorrelationDegradesDiversity(t *testing.T) {
+	// Highly correlated branches must perform measurably worse than
+	// independent branches under MRC — the physical effect the paper's
+	// generator exists to model.
+	const snr = 10.0
+	const symbols = 300000
+	indep, err := SimulateDiversityBER(DiversityConfig{
+		BranchCovariance: cmplxmat.Identity(2),
+		SNRdB:            snr,
+		Scheme:           MaximalRatio,
+		Symbols:          symbols,
+		Seed:             2,
+	})
+	if err != nil {
+		t.Fatalf("SimulateDiversityBER: %v", err)
+	}
+	correlated, err := SimulateDiversityBER(DiversityConfig{
+		BranchCovariance: cmplxmat.MustFromRows([][]complex128{
+			{1, 0.95},
+			{0.95, 1},
+		}),
+		SNRdB:   snr,
+		Scheme:  MaximalRatio,
+		Symbols: symbols,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatalf("SimulateDiversityBER: %v", err)
+	}
+	if correlated.BER < 1.5*indep.BER {
+		t.Errorf("correlation ρ=0.95 should raise the BER markedly: correlated %g vs independent %g",
+			correlated.BER, indep.BER)
+	}
+}
+
+func TestSelectionCombiningWorseThanMRC(t *testing.T) {
+	const snr = 10.0
+	const symbols = 300000
+	cov := cmplxmat.Identity(2)
+	mrc, err := SimulateDiversityBER(DiversityConfig{
+		BranchCovariance: cov, SNRdB: snr, Scheme: MaximalRatio, Symbols: symbols, Seed: 4,
+	})
+	if err != nil {
+		t.Fatalf("SimulateDiversityBER(MRC): %v", err)
+	}
+	sc, err := SimulateDiversityBER(DiversityConfig{
+		BranchCovariance: cov, SNRdB: snr, Scheme: Selection, Symbols: symbols, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("SimulateDiversityBER(SC): %v", err)
+	}
+	if sc.BER < mrc.BER {
+		t.Errorf("selection combining (%g) outperformed MRC (%g)", sc.BER, mrc.BER)
+	}
+}
+
+func TestCombiningSchemeString(t *testing.T) {
+	if MaximalRatio.String() != "MRC" || Selection.String() != "SC" {
+		t.Errorf("scheme strings wrong: %s, %s", MaximalRatio, Selection)
+	}
+	if CombiningScheme(9).String() == "" {
+		t.Errorf("unknown scheme should still produce a string")
+	}
+}

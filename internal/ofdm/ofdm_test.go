@@ -1,0 +1,194 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func testConfig() SubcarrierFadingConfig {
+	return SubcarrierFadingConfig{
+		Subcarriers:         8,
+		SubcarrierSpacingHz: 15e3,
+		MaxDopplerHz:        50,
+		RMSDelaySpread:      1e-6,
+		Power:               1,
+		Seed:                1,
+	}
+}
+
+func TestNewSubcarrierFadingValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Subcarriers = 0
+	if _, err := NewSubcarrierFading(cfg); err == nil {
+		t.Errorf("zero subcarriers did not error")
+	}
+	cfg = testConfig()
+	cfg.SubcarrierSpacingHz = 0
+	if _, err := NewSubcarrierFading(cfg); err == nil {
+		t.Errorf("zero spacing did not error")
+	}
+	cfg = testConfig()
+	cfg.RMSDelaySpread = -1
+	if _, err := NewSubcarrierFading(cfg); err == nil {
+		t.Errorf("negative delay spread did not error")
+	}
+}
+
+func TestSubcarrierCovarianceStructure(t *testing.T) {
+	f, err := NewSubcarrierFading(testConfig())
+	if err != nil {
+		t.Fatalf("NewSubcarrierFading: %v", err)
+	}
+	k := f.Covariance()
+	if k.Rows() != 8 {
+		t.Fatalf("covariance size %d, want 8", k.Rows())
+	}
+	if !k.IsHermitian(1e-12) {
+		t.Errorf("subcarrier covariance not Hermitian")
+	}
+	// Adjacent subcarriers must be more correlated than distant ones.
+	near := cmplx.Abs(k.At(0, 1))
+	far := cmplx.Abs(k.At(0, 7))
+	if far >= near {
+		t.Errorf("correlation does not decay across subcarriers: |K(0,1)|=%g, |K(0,7)|=%g", near, far)
+	}
+}
+
+func TestCoherenceBandwidth(t *testing.T) {
+	// A huge delay spread decorrelates adjacent subcarriers, so the coherence
+	// bandwidth measured in subcarriers must shrink relative to a small
+	// delay spread.
+	narrow := testConfig()
+	narrow.RMSDelaySpread = 10e-6
+	wide := testConfig()
+	wide.RMSDelaySpread = 0.05e-6
+
+	fNarrow, err := NewSubcarrierFading(narrow)
+	if err != nil {
+		t.Fatalf("NewSubcarrierFading: %v", err)
+	}
+	fWide, err := NewSubcarrierFading(wide)
+	if err != nil {
+		t.Fatalf("NewSubcarrierFading: %v", err)
+	}
+	cbNarrow := fNarrow.CoherenceBandwidthSubcarriers(0.5)
+	cbWide := fWide.CoherenceBandwidthSubcarriers(0.5)
+	if cbNarrow >= cbWide {
+		t.Errorf("coherence bandwidth did not shrink with delay spread: %d vs %d subcarriers", cbNarrow, cbWide)
+	}
+	if fWide.CoherenceBandwidthSubcarriers(0) != 0 || fWide.CoherenceBandwidthSubcarriers(1) != 0 {
+		t.Errorf("invalid threshold should return 0")
+	}
+}
+
+func TestDrawCovarianceConvergence(t *testing.T) {
+	cfg := testConfig()
+	cfg.Subcarriers = 4
+	f, err := NewSubcarrierFading(cfg)
+	if err != nil {
+		t.Fatalf("NewSubcarrierFading: %v", err)
+	}
+	const draws = 60000
+	samples := make([][]complex128, draws)
+	for i := range samples {
+		samples[i] = f.Draw()
+	}
+	cov, err := stats.SampleCovariance(samples)
+	if err != nil {
+		t.Fatalf("SampleCovariance: %v", err)
+	}
+	cmp, err := stats.CompareCovariance(cov, f.Covariance())
+	if err != nil {
+		t.Fatalf("CompareCovariance: %v", err)
+	}
+	if cmp.MaxAbs > 0.04 {
+		t.Errorf("subcarrier gain covariance deviates from the model by %g", cmp.MaxAbs)
+	}
+}
+
+func TestQPSKMappingAndDetection(t *testing.T) {
+	for idx := 0; idx < 4; idx++ {
+		s := qpskSymbol(idx)
+		if math.Abs(cmplx.Abs(s)-1) > 1e-12 {
+			t.Errorf("QPSK symbol %d does not have unit energy", idx)
+		}
+		if qpskDetect(s) != s {
+			t.Errorf("QPSK detection of a clean symbol %d failed", idx)
+		}
+		// Small perturbations must not change the decision.
+		if qpskDetect(s+complex(0.1, -0.1)*s) != s {
+			t.Errorf("QPSK detection not robust to small perturbation for symbol %d", idx)
+		}
+	}
+}
+
+func TestSimulateLinkValidation(t *testing.T) {
+	if _, err := SimulateLink(TransceiverConfig{OFDMSymbols: 1}); err == nil {
+		t.Errorf("nil fading did not error")
+	}
+	f, err := NewSubcarrierFading(testConfig())
+	if err != nil {
+		t.Fatalf("NewSubcarrierFading: %v", err)
+	}
+	if _, err := SimulateLink(TransceiverConfig{Fading: f, OFDMSymbols: 0}); err == nil {
+		t.Errorf("zero OFDM symbols did not error")
+	}
+}
+
+func TestSimulateLinkSERMatchesRayleighTheory(t *testing.T) {
+	// Per-subcarrier QPSK over Rayleigh fading: the SER averaged over
+	// subcarriers should track the closed-form flat-Rayleigh expression
+	// regardless of the correlation between subcarriers (correlation affects
+	// the joint statistics, not the per-subcarrier marginal).
+	f, err := NewSubcarrierFading(testConfig())
+	if err != nil {
+		t.Fatalf("NewSubcarrierFading: %v", err)
+	}
+	const snr = 15.0
+	res, err := SimulateLink(TransceiverConfig{Fading: f, SNRdB: snr, OFDMSymbols: 6000, Seed: 2})
+	if err != nil {
+		t.Fatalf("SimulateLink: %v", err)
+	}
+	want := TheoreticalQPSKRayleighSER(snr)
+	if res.SER < 0.6*want || res.SER > 1.6*want {
+		t.Errorf("simulated SER %g vs theoretical %g", res.SER, want)
+	}
+	if res.Symbols != 6000*8 {
+		t.Errorf("symbol count %d, want %d", res.Symbols, 6000*8)
+	}
+}
+
+func TestSERDecreasesWithSNR(t *testing.T) {
+	f, err := NewSubcarrierFading(testConfig())
+	if err != nil {
+		t.Fatalf("NewSubcarrierFading: %v", err)
+	}
+	low, err := SimulateLink(TransceiverConfig{Fading: f, SNRdB: 5, OFDMSymbols: 3000, Seed: 3})
+	if err != nil {
+		t.Fatalf("SimulateLink: %v", err)
+	}
+	high, err := SimulateLink(TransceiverConfig{Fading: f, SNRdB: 25, OFDMSymbols: 3000, Seed: 4})
+	if err != nil {
+		t.Fatalf("SimulateLink: %v", err)
+	}
+	if high.SER >= low.SER {
+		t.Errorf("SER did not decrease with SNR: %g at 5 dB vs %g at 25 dB", low.SER, high.SER)
+	}
+}
+
+func TestTheoreticalQPSKRayleighSERMonotone(t *testing.T) {
+	prev := 1.0
+	for snr := -5.0; snr <= 30; snr += 5 {
+		v := TheoreticalQPSKRayleighSER(snr)
+		if v <= 0 || v >= 1 {
+			t.Errorf("SER at %g dB = %g outside (0,1)", snr, v)
+		}
+		if v > prev {
+			t.Errorf("theoretical SER not monotone at %g dB", snr)
+		}
+		prev = v
+	}
+}

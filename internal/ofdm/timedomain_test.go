@@ -1,0 +1,205 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func testProfile() MultipathProfile {
+	return MultipathProfile{
+		Taps:              16,
+		SampleIntervalSec: 1.0 / 3.84e6, // 3.84 MHz sampling
+		RMSDelaySpreadSec: 1e-6,
+	}
+}
+
+func TestMultipathProfileValidation(t *testing.T) {
+	bad := []MultipathProfile{
+		{Taps: 0, SampleIntervalSec: 1e-6, RMSDelaySpreadSec: 1e-6},
+		{Taps: 4, SampleIntervalSec: 0, RMSDelaySpreadSec: 1e-6},
+		{Taps: 4, SampleIntervalSec: 1e-6, RMSDelaySpreadSec: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate did not error", i)
+		}
+		if _, err := p.TapPowers(); err == nil {
+			t.Errorf("case %d: TapPowers did not error", i)
+		}
+	}
+}
+
+func TestTapPowersNormalizedAndDecaying(t *testing.T) {
+	powers, err := testProfile().TapPowers()
+	if err != nil {
+		t.Fatalf("TapPowers: %v", err)
+	}
+	var total float64
+	for k, p := range powers {
+		total += p
+		if p <= 0 {
+			t.Errorf("tap %d power %g not positive", k, p)
+		}
+		if k > 0 && p > powers[k-1] {
+			t.Errorf("exponential profile not decaying at tap %d", k)
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("tap powers sum to %g, want 1", total)
+	}
+}
+
+func TestTapPowersFlatFading(t *testing.T) {
+	p := MultipathProfile{Taps: 8, SampleIntervalSec: 1e-6, RMSDelaySpreadSec: 0}
+	powers, err := p.TapPowers()
+	if err != nil {
+		t.Fatalf("TapPowers: %v", err)
+	}
+	if powers[0] != 1 {
+		t.Errorf("flat-fading first tap power %g, want 1", powers[0])
+	}
+	for k := 1; k < len(powers); k++ {
+		if powers[k] != 0 {
+			t.Errorf("flat-fading tap %d power %g, want 0", k, powers[k])
+		}
+	}
+}
+
+func TestDrawTapsPowerMatchesProfile(t *testing.T) {
+	ch, err := NewMultipathChannel(testProfile(), 1)
+	if err != nil {
+		t.Fatalf("NewMultipathChannel: %v", err)
+	}
+	powers, _ := testProfile().TapPowers()
+	const draws = 40000
+	acc := make([]float64, len(powers))
+	for d := 0; d < draws; d++ {
+		taps := ch.DrawTaps()
+		for k, h := range taps {
+			acc[k] += real(h)*real(h) + imag(h)*imag(h)
+		}
+	}
+	for k := range acc {
+		acc[k] /= draws
+		if powers[k] > 1e-3 && math.Abs(acc[k]-powers[k]) > 0.06*powers[k] {
+			t.Errorf("tap %d empirical power %g, profile %g", k, acc[k], powers[k])
+		}
+	}
+}
+
+func TestFrequencyResponseErrors(t *testing.T) {
+	ch, err := NewMultipathChannel(testProfile(), 2)
+	if err != nil {
+		t.Fatalf("NewMultipathChannel: %v", err)
+	}
+	taps := ch.DrawTaps()
+	if _, err := ch.FrequencyResponse(taps, 8, 8); err == nil {
+		t.Errorf("FFT size below tap count did not error")
+	}
+	if _, err := ch.FrequencyResponse(taps, 64, 0); err == nil {
+		t.Errorf("zero subcarriers did not error")
+	}
+	if _, err := ch.FrequencyResponse(taps, 64, 128); err == nil {
+		t.Errorf("more subcarriers than FFT bins did not error")
+	}
+	h, err := ch.FrequencyResponse(taps, 64, 16)
+	if err != nil || len(h) != 16 {
+		t.Errorf("FrequencyResponse = %d bins, %v", len(h), err)
+	}
+}
+
+func TestFrequencyCorrelationMatchesJakesFactor(t *testing.T) {
+	// Cross-validation between the independently built time-domain channel
+	// and the spectral-correlation factor of Eq. (3): the magnitude of the
+	// frequency correlation at separation Δf must follow
+	// 1/sqrt(1+(2πΔf·στ)²).
+	profile := testProfile()
+	ch, err := NewMultipathChannel(profile, 3)
+	if err != nil {
+		t.Fatalf("NewMultipathChannel: %v", err)
+	}
+	const nFFT = 256
+	subcarrierSpacing := 1 / (float64(nFFT) * profile.SampleIntervalSec)
+	for _, sep := range []int{1, 4, 16} {
+		rho, err := ch.FrequencyCorrelation(nFFT, sep, 20000)
+		if err != nil {
+			t.Fatalf("FrequencyCorrelation: %v", err)
+		}
+		want := TheoreticalFrequencyCorrelationMagnitude(float64(sep)*subcarrierSpacing, profile.RMSDelaySpreadSec)
+		if math.Abs(cmplx.Abs(rho)-want) > 0.05 {
+			t.Errorf("separation %d bins: |rho| = %g, theory %g", sep, cmplx.Abs(rho), want)
+		}
+	}
+
+	if _, err := ch.FrequencyCorrelation(nFFT, -1, 100); err == nil {
+		t.Errorf("negative separation did not error")
+	}
+	if _, err := ch.FrequencyCorrelation(nFFT, 1, 0); err == nil {
+		t.Errorf("zero draws did not error")
+	}
+}
+
+func TestTheoreticalFrequencyCorrelationLimits(t *testing.T) {
+	if got := TheoreticalFrequencyCorrelationMagnitude(0, 1e-6); got != 1 {
+		t.Errorf("zero separation correlation = %g, want 1", got)
+	}
+	if got := TheoreticalFrequencyCorrelationMagnitude(10e6, 1e-6); got > 0.02 {
+		t.Errorf("very large separation correlation = %g, want ≈ 0", got)
+	}
+}
+
+func TestSimulateCPOFDMValidation(t *testing.T) {
+	ch, err := NewMultipathChannel(testProfile(), 4)
+	if err != nil {
+		t.Fatalf("NewMultipathChannel: %v", err)
+	}
+	if _, err := SimulateCPOFDM(CPOFDMConfig{NFFT: 64, CyclicPrefix: 16, OFDMSymbols: 1}); err == nil {
+		t.Errorf("nil channel did not error")
+	}
+	if _, err := SimulateCPOFDM(CPOFDMConfig{Channel: ch, NFFT: 63, CyclicPrefix: 16, OFDMSymbols: 1}); err == nil {
+		t.Errorf("non-power-of-two FFT did not error")
+	}
+	if _, err := SimulateCPOFDM(CPOFDMConfig{Channel: ch, NFFT: 64, CyclicPrefix: 4, OFDMSymbols: 1}); err == nil {
+		t.Errorf("short cyclic prefix did not error")
+	}
+	if _, err := SimulateCPOFDM(CPOFDMConfig{Channel: ch, NFFT: 64, CyclicPrefix: 16, OFDMSymbols: 0}); err == nil {
+		t.Errorf("zero symbols did not error")
+	}
+}
+
+func TestSimulateCPOFDMNoiseFreeIsErrorFree(t *testing.T) {
+	// With a cyclic prefix covering the channel memory and essentially no
+	// noise, one-tap equalization must recover every symbol.
+	ch, err := NewMultipathChannel(testProfile(), 5)
+	if err != nil {
+		t.Fatalf("NewMultipathChannel: %v", err)
+	}
+	res, err := SimulateCPOFDM(CPOFDMConfig{
+		Channel: ch, NFFT: 64, CyclicPrefix: 16, SNRdB: 150, OFDMSymbols: 50, Seed: 6,
+	})
+	if err != nil {
+		t.Fatalf("SimulateCPOFDM: %v", err)
+	}
+	if res.SymbolErrors != 0 {
+		t.Errorf("noise-free CP-OFDM produced %d symbol errors", res.SymbolErrors)
+	}
+}
+
+func TestSimulateCPOFDMSERMatchesRayleighTheory(t *testing.T) {
+	ch, err := NewMultipathChannel(testProfile(), 7)
+	if err != nil {
+		t.Fatalf("NewMultipathChannel: %v", err)
+	}
+	const snr = 15.0
+	res, err := SimulateCPOFDM(CPOFDMConfig{
+		Channel: ch, NFFT: 128, CyclicPrefix: 16, SNRdB: snr, OFDMSymbols: 400, Seed: 8,
+	})
+	if err != nil {
+		t.Fatalf("SimulateCPOFDM: %v", err)
+	}
+	want := TheoreticalQPSKRayleighSER(snr)
+	if res.SER < 0.5*want || res.SER > 1.7*want {
+		t.Errorf("CP-OFDM SER %g vs flat-Rayleigh theory %g", res.SER, want)
+	}
+}

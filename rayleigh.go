@@ -1,0 +1,245 @@
+package rayleigh
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/core"
+	"repro/internal/doppler"
+)
+
+// ErrInvalidConfig reports an invalid public-API configuration.
+var ErrInvalidConfig = errors.New("rayleigh: invalid configuration")
+
+// Snapshot is one independent draw: N correlated complex Gaussian samples and
+// their moduli, the Rayleigh envelopes.
+type Snapshot struct {
+	// Gaussian holds the correlated zero-mean complex Gaussian samples z_j.
+	Gaussian []complex128
+	// Envelopes holds the Rayleigh envelopes r_j = |z_j|.
+	Envelopes []float64
+}
+
+// Diagnostics reports how the desired covariance matrix was conditioned
+// before coloring.
+type Diagnostics struct {
+	// Eigenvalues of the desired covariance matrix, ascending.
+	Eigenvalues []float64
+	// ClampedEigenvalues is the number of negative eigenvalues replaced by
+	// exactly zero (the positive semi-definiteness forcing of the paper).
+	ClampedEigenvalues int
+	// ApproximationError is the Frobenius distance between the desired
+	// covariance matrix and its forced positive semi-definite approximation;
+	// zero when the desired matrix was already positive semi-definite.
+	ApproximationError float64
+}
+
+// Generator produces independent snapshots of N correlated Rayleigh fading
+// envelopes (the single-time-instant algorithm of Section 4.4 of the paper).
+type Generator struct {
+	inner *core.SnapshotGenerator
+}
+
+// Config configures a Generator built directly from a covariance matrix.
+type Config struct {
+	// Covariance is the desired N×N covariance matrix of the complex
+	// Gaussian processes, row by row. It must be Hermitian; it does not need
+	// to be positive definite or even positive semi-definite.
+	Covariance [][]complex128
+	// Seed seeds the random stream. The same seed reproduces the same
+	// sequence of snapshots.
+	Seed int64
+}
+
+// New builds a Generator for the desired covariance matrix.
+func New(cfg Config) (*Generator, error) {
+	k, err := toMatrix(cfg.Covariance)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: k, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("rayleigh: %w", err)
+	}
+	return &Generator{inner: inner}, nil
+}
+
+// NewFromEnvelopePowers builds a Generator from a correlation-coefficient
+// matrix of the complex Gaussians and the desired envelope variances σr²_j
+// (the paper's Eq. (11) conversion is applied internally), enabling unequal
+// envelope powers.
+func NewFromEnvelopePowers(correlation [][]complex128, envelopeVariances []float64, seed int64) (*Generator, error) {
+	rho, err := toMatrix(correlation)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewSnapshotGeneratorFromEnvelopePowers(rho, envelopeVariances, seed)
+	if err != nil {
+		return nil, fmt.Errorf("rayleigh: %w", err)
+	}
+	return &Generator{inner: inner}, nil
+}
+
+// N returns the number of envelopes per snapshot.
+func (g *Generator) N() int { return g.inner.N() }
+
+// Snapshot draws one independent snapshot.
+func (g *Generator) Snapshot() Snapshot {
+	s := g.inner.Generate()
+	return Snapshot{Gaussian: s.Gaussian, Envelopes: s.Envelopes}
+}
+
+// Snapshots draws count independent snapshots.
+func (g *Generator) Snapshots(count int) ([]Snapshot, error) {
+	batch, err := g.inner.GenerateBatch(count)
+	if err != nil {
+		return nil, fmt.Errorf("rayleigh: %w", err)
+	}
+	out := make([]Snapshot, len(batch))
+	for i, s := range batch {
+		out[i] = Snapshot{Gaussian: s.Gaussian, Envelopes: s.Envelopes}
+	}
+	return out, nil
+}
+
+// Diagnostics reports the covariance conditioning applied at construction.
+func (g *Generator) Diagnostics() Diagnostics {
+	return diagnosticsFromForced(g.inner.Diagnostics())
+}
+
+// RealTime produces blocks of time-correlated envelopes: the cross-envelope
+// covariance follows the desired matrix while each envelope's
+// autocorrelation follows the Jakes model J0(2π·fm·d) (Section 5, Fig. 3 of
+// the paper).
+type RealTime struct {
+	inner *core.RealTimeGenerator
+}
+
+// RealTimeConfig configures a RealTime generator.
+type RealTimeConfig struct {
+	// Covariance is the desired covariance matrix of the complex Gaussian
+	// processes (same semantics as Config.Covariance).
+	Covariance [][]complex128
+	// IDFTPoints is M, the block length in samples (and IDFT size) of each
+	// Young–Beaulieu Doppler generator. The paper's evaluation uses 4096.
+	IDFTPoints int
+	// NormalizedDoppler is fm = Fm/Fs, the maximum Doppler shift divided by
+	// the sampling rate; it must lie in (0, 0.5). The paper's evaluation uses
+	// 0.05 (Fm = 50 Hz at Fs = 1 kHz).
+	NormalizedDoppler float64
+	// InputVariance is σ²_orig of the Gaussian sequences feeding the Doppler
+	// filters; zero selects the paper's 1/2. The output statistics do not
+	// depend on it because the whitening step uses the measured filter gain.
+	InputVariance float64
+	// Seed seeds the random streams.
+	Seed int64
+}
+
+// Block is one block of M consecutive time samples for each of the N
+// envelopes.
+type Block struct {
+	// Gaussian[j][l] is the complex Gaussian of envelope j at time sample l.
+	Gaussian [][]complex128
+	// Envelopes[j][l] is the Rayleigh envelope |Gaussian[j][l]|.
+	Envelopes [][]float64
+}
+
+// NewRealTime builds a RealTime generator.
+func NewRealTime(cfg RealTimeConfig) (*RealTime, error) {
+	k, err := toMatrix(cfg.Covariance)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewRealTimeGenerator(core.RealTimeConfig{
+		Covariance:    k,
+		Filter:        doppler.FilterSpec{M: cfg.IDFTPoints, NormalizedDoppler: cfg.NormalizedDoppler},
+		InputVariance: cfg.InputVariance,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rayleigh: %w", err)
+	}
+	return &RealTime{inner: inner}, nil
+}
+
+// N returns the number of envelopes.
+func (r *RealTime) N() int { return r.inner.N() }
+
+// BlockLength returns the number of time samples per block.
+func (r *RealTime) BlockLength() int { return r.inner.BlockLength() }
+
+// Block generates the next block of time-correlated envelopes.
+func (r *RealTime) Block() Block {
+	b := r.inner.GenerateBlock()
+	return Block{Gaussian: b.Gaussian, Envelopes: b.Envelopes}
+}
+
+// TheoreticalAutocorrelation returns the designed per-envelope normalized
+// autocorrelation J0(2π·fm·lag).
+func (r *RealTime) TheoreticalAutocorrelation(lag int) float64 {
+	return r.inner.TheoreticalAutocorrelation(lag)
+}
+
+// Diagnostics reports the covariance conditioning applied at construction.
+func (r *RealTime) Diagnostics() Diagnostics {
+	return diagnosticsFromForced(r.inner.Diagnostics())
+}
+
+// EnvelopePowerToGaussianPower converts a desired Rayleigh envelope variance
+// σr² to the power σg² of the complex Gaussian producing it (Eq. (11)).
+func EnvelopePowerToGaussianPower(envelopeVariance float64) (float64, error) {
+	v, err := core.EnvelopePowerToGaussianPower(envelopeVariance)
+	if err != nil {
+		return 0, fmt.Errorf("rayleigh: %w", err)
+	}
+	return v, nil
+}
+
+// GaussianPowerToEnvelopeVariance inverts EnvelopePowerToGaussianPower
+// (Eq. (15)).
+func GaussianPowerToEnvelopeVariance(gaussianPower float64) (float64, error) {
+	v, err := core.GaussianPowerToEnvelopeVariance(gaussianPower)
+	if err != nil {
+		return 0, fmt.Errorf("rayleigh: %w", err)
+	}
+	return v, nil
+}
+
+// ExpectedEnvelopeMean returns E{r} = 0.8862·σg for a complex Gaussian power
+// σg² (Eq. (14)).
+func ExpectedEnvelopeMean(gaussianPower float64) (float64, error) {
+	v, err := core.ExpectedEnvelopeMean(gaussianPower)
+	if err != nil {
+		return 0, fmt.Errorf("rayleigh: %w", err)
+	}
+	return v, nil
+}
+
+// toMatrix validates and converts a row-major covariance matrix.
+func toMatrix(rows [][]complex128) (*cmplxmat.Matrix, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("rayleigh: empty covariance matrix: %w", ErrInvalidConfig)
+	}
+	for i, r := range rows {
+		if len(r) != len(rows) {
+			return nil, fmt.Errorf("rayleigh: covariance row %d has %d entries, want %d: %w", i, len(r), len(rows), ErrInvalidConfig)
+		}
+	}
+	m, err := cmplxmat.FromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("rayleigh: %w", err)
+	}
+	return m, nil
+}
+
+// diagnosticsFromForced converts the internal forcing record.
+func diagnosticsFromForced(f *core.ForcedPSD) Diagnostics {
+	vals := make([]float64, len(f.Eigenvalues))
+	copy(vals, f.Eigenvalues)
+	return Diagnostics{
+		Eigenvalues:        vals,
+		ClampedEigenvalues: f.NumClamped,
+		ApproximationError: f.FrobeniusError,
+	}
+}

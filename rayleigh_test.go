@@ -1,0 +1,278 @@
+package rayleigh
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// paperSpectralCovariance returns the public-API covariance for the paper's
+// Section 6 spectral scenario (Eq. (22)).
+func paperSpectralCovariance(t *testing.T) [][]complex128 {
+	t.Helper()
+	cov, err := SpectralCovariance(SpectralConfig{
+		Frequencies:    []float64{400e3, 200e3, 0},
+		Delays:         [][]float64{{0, 1e-3, 4e-3}, {1e-3, 0, 3e-3}, {4e-3, 3e-3, 0}},
+		MaxDopplerHz:   50,
+		RMSDelaySpread: 1e-6,
+		Power:          1,
+	})
+	if err != nil {
+		t.Fatalf("SpectralCovariance: %v", err)
+	}
+	return cov
+}
+
+func TestSpectralCovarianceMatchesEq22(t *testing.T) {
+	cov := paperSpectralCovariance(t)
+	want := [][]complex128{
+		{1, 0.3782 + 0.4753i, 0.0878 + 0.2207i},
+		{0.3782 - 0.4753i, 1, 0.3063 + 0.3849i},
+		{0.0878 - 0.2207i, 0.3063 - 0.3849i, 1},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if cmplx.Abs(cov[i][j]-want[i][j]) > 6e-4 {
+				t.Errorf("K(%d,%d) = %v, want %v", i, j, cov[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestSpatialCovarianceMatchesEq23(t *testing.T) {
+	cov, err := SpatialCovariance(SpatialConfig{
+		Antennas:           3,
+		SpacingWavelengths: 1,
+		AngularSpreadRad:   math.Pi / 18,
+		MeanAngleRad:       0,
+	})
+	if err != nil {
+		t.Fatalf("SpatialCovariance: %v", err)
+	}
+	want := [][]complex128{
+		{1, 0.8123, 0.3730},
+		{0.8123, 1, 0.8123},
+		{0.3730, 0.8123, 1},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if cmplx.Abs(cov[i][j]-want[i][j]) > 6e-4 {
+				t.Errorf("K(%d,%d) = %v, want %v", i, j, cov[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestModelConfigValidation(t *testing.T) {
+	if _, err := SpectralCovariance(SpectralConfig{}); err == nil {
+		t.Errorf("empty spectral config did not error")
+	}
+	if _, err := SpectralCovariance(SpectralConfig{
+		Frequencies:  []float64{0, 1e3},
+		MaxDopplerHz: -1,
+	}); err == nil {
+		t.Errorf("negative Doppler did not error")
+	}
+	if _, err := SpatialCovariance(SpatialConfig{}); err == nil {
+		t.Errorf("empty spatial config did not error")
+	}
+	if _, err := SpatialCovariance(SpatialConfig{Antennas: 2, SpacingWavelengths: 0.5}); err == nil {
+		t.Errorf("zero angular spread did not error")
+	}
+}
+
+func TestSpectralCovarianceDefaultDelaysAndPower(t *testing.T) {
+	cov, err := SpectralCovariance(SpectralConfig{
+		Frequencies:    []float64{0, 200e3},
+		MaxDopplerHz:   50,
+		RMSDelaySpread: 1e-6,
+	})
+	if err != nil {
+		t.Fatalf("SpectralCovariance: %v", err)
+	}
+	if real(cov[0][0]) != 1 || real(cov[1][1]) != 1 {
+		t.Errorf("default power should be 1, got diagonal %v %v", cov[0][0], cov[1][1])
+	}
+}
+
+func TestNewGeneratorAndSnapshot(t *testing.T) {
+	gen, err := New(Config{Covariance: paperSpectralCovariance(t), Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if gen.N() != 3 {
+		t.Errorf("N = %d, want 3", gen.N())
+	}
+	s := gen.Snapshot()
+	if len(s.Gaussian) != 3 || len(s.Envelopes) != 3 {
+		t.Fatalf("snapshot sizes %d/%d", len(s.Gaussian), len(s.Envelopes))
+	}
+	for i := range s.Envelopes {
+		if math.Abs(s.Envelopes[i]-cmplx.Abs(s.Gaussian[i])) > 1e-14 {
+			t.Errorf("envelope %d is not |z|", i)
+		}
+	}
+	batch, err := gen.Snapshots(10)
+	if err != nil || len(batch) != 10 {
+		t.Errorf("Snapshots = %d, %v", len(batch), err)
+	}
+	if _, err := gen.Snapshots(0); err == nil {
+		t.Errorf("Snapshots(0) did not error")
+	}
+	d := gen.Diagnostics()
+	if d.ClampedEigenvalues != 0 || d.ApproximationError > 1e-12 || len(d.Eigenvalues) != 3 {
+		t.Errorf("unexpected diagnostics for a PSD matrix: %+v", d)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Errorf("empty covariance did not error")
+	}
+	if _, err := New(Config{Covariance: [][]complex128{{1, 2}}}); err == nil {
+		t.Errorf("non-square covariance did not error")
+	}
+	if _, err := New(Config{Covariance: [][]complex128{{1, 2}, {3, 4}}}); err == nil {
+		t.Errorf("non-Hermitian covariance did not error")
+	}
+}
+
+func TestNewFromEnvelopePowers(t *testing.T) {
+	rho := [][]complex128{
+		{1, 0.5},
+		{0.5, 1},
+	}
+	gen, err := NewFromEnvelopePowers(rho, []float64{1, 2}, 3)
+	if err != nil {
+		t.Fatalf("NewFromEnvelopePowers: %v", err)
+	}
+	// Check Eq. (15): average envelope variance over many snapshots matches
+	// the requested σr².
+	const draws = 150000
+	sum := make([]float64, 2)
+	sumSq := make([]float64, 2)
+	for i := 0; i < draws; i++ {
+		s := gen.Snapshot()
+		for j, r := range s.Envelopes {
+			sum[j] += r
+			sumSq[j] += r * r
+		}
+	}
+	for j, want := range []float64{1, 2} {
+		mean := sum[j] / draws
+		variance := sumSq[j]/draws - mean*mean
+		if math.Abs(variance-want) > 0.05*want {
+			t.Errorf("envelope %d variance = %g, want %g", j, variance, want)
+		}
+	}
+
+	if _, err := NewFromEnvelopePowers(nil, []float64{1}, 0); err == nil {
+		t.Errorf("nil correlation did not error")
+	}
+	if _, err := NewFromEnvelopePowers(rho, []float64{1}, 0); err == nil {
+		t.Errorf("size mismatch did not error")
+	}
+}
+
+func TestGeneratorHandlesIndefiniteCovariance(t *testing.T) {
+	indefinite := [][]complex128{
+		{1, 0.9, -0.9},
+		{0.9, 1, 0.9},
+		{-0.9, 0.9, 1},
+	}
+	gen, err := New(Config{Covariance: indefinite, Seed: 5})
+	if err != nil {
+		t.Fatalf("New(indefinite): %v", err)
+	}
+	d := gen.Diagnostics()
+	if d.ClampedEigenvalues == 0 {
+		t.Errorf("expected eigenvalue clamping for an indefinite target")
+	}
+	if d.ApproximationError <= 0 {
+		t.Errorf("expected positive approximation error, got %g", d.ApproximationError)
+	}
+	s := gen.Snapshot()
+	if len(s.Envelopes) != 3 {
+		t.Errorf("snapshot has %d envelopes", len(s.Envelopes))
+	}
+}
+
+func TestPowerHelpers(t *testing.T) {
+	sg2, err := EnvelopePowerToGaussianPower(1)
+	if err != nil {
+		t.Fatalf("EnvelopePowerToGaussianPower: %v", err)
+	}
+	back, err := GaussianPowerToEnvelopeVariance(sg2)
+	if err != nil || math.Abs(back-1) > 1e-12 {
+		t.Errorf("round trip = %g, %v", back, err)
+	}
+	mean, err := ExpectedEnvelopeMean(1)
+	if err != nil || math.Abs(mean-0.8862269254527580) > 1e-12 {
+		t.Errorf("ExpectedEnvelopeMean = %g, %v", mean, err)
+	}
+	if _, err := EnvelopePowerToGaussianPower(0); err == nil {
+		t.Errorf("zero envelope power did not error")
+	}
+	if _, err := GaussianPowerToEnvelopeVariance(-1); err == nil {
+		t.Errorf("negative Gaussian power did not error")
+	}
+	if _, err := ExpectedEnvelopeMean(0); err == nil {
+		t.Errorf("zero Gaussian power did not error")
+	}
+}
+
+func TestRealTimePublicAPI(t *testing.T) {
+	rt, err := NewRealTime(RealTimeConfig{
+		Covariance:        paperSpectralCovariance(t),
+		IDFTPoints:        512,
+		NormalizedDoppler: 0.05,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatalf("NewRealTime: %v", err)
+	}
+	if rt.N() != 3 || rt.BlockLength() != 512 {
+		t.Errorf("N=%d, BlockLength=%d", rt.N(), rt.BlockLength())
+	}
+	b := rt.Block()
+	if len(b.Gaussian) != 3 || len(b.Envelopes) != 3 || len(b.Envelopes[0]) != 512 {
+		t.Fatalf("block shape wrong")
+	}
+	if math.Abs(rt.TheoreticalAutocorrelation(0)-1) > 1e-12 {
+		t.Errorf("TheoreticalAutocorrelation(0) != 1")
+	}
+	if rt.Diagnostics().ClampedEigenvalues != 0 {
+		t.Errorf("unexpected clamping for Eq. (22)")
+	}
+
+	if _, err := NewRealTime(RealTimeConfig{
+		Covariance:        paperSpectralCovariance(t),
+		IDFTPoints:        8,
+		NormalizedDoppler: 0.01,
+	}); err == nil {
+		t.Errorf("invalid Doppler configuration did not error")
+	}
+	if _, err := NewRealTime(RealTimeConfig{}); err == nil {
+		t.Errorf("empty real-time config did not error")
+	}
+}
+
+func TestGeneratorDeterministicAcrossConstruction(t *testing.T) {
+	cov := paperSpectralCovariance(t)
+	g1, err := New(Config{Covariance: cov, Seed: 11})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	g2, err := New(Config{Covariance: cov, Seed: 11})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		a, b := g1.Snapshot(), g2.Snapshot()
+		for j := range a.Gaussian {
+			if a.Gaussian[j] != b.Gaussian[j] {
+				t.Fatalf("same seed, different snapshots")
+			}
+		}
+	}
+}
