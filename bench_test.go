@@ -335,36 +335,101 @@ func BenchmarkDopplerAutocorrelation(b *testing.B) {
 	b.ReportMetric(worst, "maxAutocorrDev_vs_J0")
 }
 
-// BenchmarkSnapshotGenerationThroughput measures the raw cost of one
-// snapshot draw for the paper's N = 3 case — the operational figure a
-// simulation user cares about when embedding the generator in a link-level
-// Monte-Carlo loop.
-func BenchmarkSnapshotGenerationThroughput(b *testing.B) {
-	gen, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: paperEq22Matrix(), Seed: 61})
-	if err != nil {
-		b.Fatal(err)
+// benchExponentialCovariance builds the n×n exponential correlation matrix
+// K[i][j] = 0.7^|i-j|, the scalable positive definite target behind the
+// N = 16 throughput cases.
+func benchExponentialCovariance(n int) *cmplxmat.Matrix {
+	m := cmplxmat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			m.Set(i, j, complex(math.Pow(0.7, float64(d)), 0))
+		}
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = gen.Generate()
+	return m
+}
+
+// throughputCovariances are the covariance targets of the throughput
+// benchmarks: the paper's N = 3 matrix of Eq. (22) plus a scaled-up N = 16
+// case where the batched coloring engine has room to work.
+func throughputCovariances() []struct {
+	name string
+	k    *cmplxmat.Matrix
+} {
+	return []struct {
+		name string
+		k    *cmplxmat.Matrix
+	}{
+		{"N=3", paperEq22Matrix()},
+		{"N=16", benchExponentialCovariance(16)},
+	}
+}
+
+// BenchmarkSnapshotGenerationThroughput measures the raw cost of one snapshot
+// draw — the operational figure a simulation user cares about when embedding
+// the generator in a link-level Monte-Carlo loop. The allocating Generate path
+// and the zero-allocation GenerateInto path are measured side by side for the
+// paper's N = 3 case and a scaled-up N = 16 case.
+func BenchmarkSnapshotGenerationThroughput(b *testing.B) {
+	for _, cfg := range throughputCovariances() {
+		gen, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: cfg.k, Seed: 61})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = gen.Generate()
+			}
+		})
+		b.Run(cfg.name+"/into", func(b *testing.B) {
+			gaussian := make([]complex128, gen.N())
+			env := make([]float64, gen.N())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := gen.GenerateInto(gaussian, env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkRealTimeBlockThroughput measures the cost of one full real-time
-// block (N = 3 envelopes × M = 4096 samples) with the paper's parameters.
+// block (M = 4096 samples per envelope) with the paper's Doppler parameters,
+// for both the allocating GenerateBlock path and the zero-allocation
+// GenerateBlockInto path at N = 3 and N = 16.
 func BenchmarkRealTimeBlockThroughput(b *testing.B) {
-	gen, err := core.NewRealTimeGenerator(core.RealTimeConfig{
-		Covariance:    paperEq22Matrix(),
-		Filter:        paperDopplerSpec(),
-		InputVariance: 0.5,
-		Seed:          67,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = gen.GenerateBlock()
+	for _, cfg := range throughputCovariances() {
+		gen, err := core.NewRealTimeGenerator(core.RealTimeConfig{
+			Covariance:    cfg.k,
+			Filter:        paperDopplerSpec(),
+			InputVariance: 0.5,
+			Seed:          67,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = gen.GenerateBlock()
+			}
+		})
+		b.Run(cfg.name+"/into", func(b *testing.B) {
+			blk := core.NewBlock(gen.N(), gen.BlockLength())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := gen.GenerateBlockInto(blk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,193 @@
+// Command benchreport reruns the two throughput benchmark families of the
+// root package (snapshot generation and real-time block generation, each at
+// N = 3 and N = 16, allocating and Into variants) through testing.Benchmark
+// and writes the results as JSON: ns/op, allocs/op, bytes/op and the derived
+// samples/sec. The committed BENCH_core.json at the repository root is the
+// output of one run, giving future changes a perf trajectory to compare
+// against:
+//
+//	go run ./cmd/benchreport -o BENCH_core.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/core"
+	"repro/internal/doppler"
+)
+
+type result struct {
+	// Name follows the sub-benchmark naming of bench_test.go, e.g.
+	// "SnapshotGenerationThroughput/N=16/into".
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	SamplesPerOp int     `json:"samples_per_op"`
+	// SamplesPerSec is the envelope-sample throughput SamplesPerOp/(ns/op).
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+type report struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// paperEq22Matrix is the N = 3 covariance matrix the paper prints as Eq. (22).
+func paperEq22Matrix() *cmplxmat.Matrix {
+	return cmplxmat.MustFromRows([][]complex128{
+		{1, 0.3782 + 0.4753i, 0.0878 + 0.2207i},
+		{0.3782 - 0.4753i, 1, 0.3063 + 0.3849i},
+		{0.0878 - 0.2207i, 0.3063 - 0.3849i, 1},
+	})
+}
+
+// exponentialCovariance is the scalable N = 16 target K[i][j] = 0.7^|i-j|,
+// matching benchExponentialCovariance in bench_test.go.
+func exponentialCovariance(n int) *cmplxmat.Matrix {
+	m := cmplxmat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			m.Set(i, j, complex(math.Pow(0.7, float64(d)), 0))
+		}
+	}
+	return m
+}
+
+func measure(name string, samplesPerOp int, fn func(b *testing.B)) result {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return result{
+		Name:          name,
+		NsPerOp:       ns,
+		AllocsPerOp:   r.AllocsPerOp(),
+		BytesPerOp:    r.AllocedBytesPerOp(),
+		SamplesPerOp:  samplesPerOp,
+		SamplesPerSec: float64(samplesPerOp) * 1e9 / ns,
+	}
+}
+
+func snapshotBenchmarks(name string, k *cmplxmat.Matrix) []result {
+	n := k.Rows()
+	newGen := func() *core.SnapshotGenerator {
+		gen, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: k, Seed: 61})
+		if err != nil {
+			fatalf("snapshot generator %s: %v", name, err)
+		}
+		return gen
+	}
+	genAlloc := newGen()
+	genInto := newGen()
+	return []result{
+		measure("SnapshotGenerationThroughput/"+name, n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = genAlloc.Generate()
+			}
+		}),
+		measure("SnapshotGenerationThroughput/"+name+"/into", n, func(b *testing.B) {
+			gaussian := make([]complex128, n)
+			env := make([]float64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := genInto.GenerateInto(gaussian, env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+}
+
+func realTimeBenchmarks(name string, k *cmplxmat.Matrix) []result {
+	newGen := func() *core.RealTimeGenerator {
+		gen, err := core.NewRealTimeGenerator(core.RealTimeConfig{
+			Covariance:    k,
+			Filter:        doppler.FilterSpec{M: 4096, NormalizedDoppler: 0.05},
+			InputVariance: 0.5,
+			Seed:          67,
+		})
+		if err != nil {
+			fatalf("real-time generator %s: %v", name, err)
+		}
+		return gen
+	}
+	genAlloc := newGen()
+	genInto := newGen()
+	samples := genAlloc.N() * genAlloc.BlockLength()
+	return []result{
+		measure("RealTimeBlockThroughput/"+name, samples, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = genAlloc.GenerateBlock()
+			}
+		}),
+		measure("RealTimeBlockThroughput/"+name+"/into", samples, func(b *testing.B) {
+			blk := core.NewBlock(genInto.N(), genInto.BlockLength())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := genInto.GenerateBlockInto(blk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	targets := []struct {
+		name string
+		k    *cmplxmat.Matrix
+	}{
+		{"N=3", paperEq22Matrix()},
+		{"N=16", exponentialCovariance(16)},
+	}
+	for _, t := range targets {
+		rep.Benchmarks = append(rep.Benchmarks, snapshotBenchmarks(t.name, t.k)...)
+	}
+	for _, t := range targets {
+		rep.Benchmarks = append(rep.Benchmarks, realTimeBenchmarks(t.name, t.k)...)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}

@@ -25,4 +25,35 @@
 // physical correlation models of the paper: SpectralCovariance (time delay
 // and frequency separation, as between OFDM subcarriers) and
 // SpatialCovariance (antenna spacing in a transmit array, as in MIMO).
+//
+// # Performance
+//
+// The generation hot path is a zero-allocation batched engine. Both modes
+// offer streaming "Into" APIs that write into caller-supplied storage:
+//
+//   - Generator.SnapshotsInto fills a pre-shaped []Snapshot; the batch is cut
+//     into chunks, each chunk's raw samples are drawn into a flat N×chunk
+//     panel, and the whole panel is colored with one cache-blocked
+//     matrix-matrix product. With reused destinations the steady-state heap
+//     traffic is amortized O(1) per snapshot.
+//
+//   - RealTime.BlockInto fills a reusable Block; the N Doppler processes are
+//     drawn into the rows of an N×M panel, the IDFTs run through per-length
+//     transform plans with precomputed twiddle factors and bit-reversal
+//     permutations, and the whole panel is colored with a single
+//     matrix-matrix product. With a pre-shaped Block and a power-of-two IDFT
+//     length the call performs no heap allocation at all.
+//
+// Setting Config.Parallel / RealTimeConfig.Parallel fans SnapshotsInto
+// chunks and BlocksInto blocks across a worker pool. Every unit of work
+// draws from its own random stream, derived deterministically (and in work
+// order) from the seed before generation starts, so seeded output is
+// bit-identical for every worker count — parallelism changes wall-clock
+// time, never values. The batched streams are distinct from the streams
+// behind Snapshot/Block: a batched run reproduces other batched runs, not an
+// element-wise sequence of single-draw calls.
+//
+// Measured throughput and allocation figures live in BENCH_core.json at the
+// repository root (regenerate with "go run ./cmd/benchreport"); the
+// methodology and fixed seeds are documented in docs/benchmarking.md.
 package rayleigh

@@ -1,0 +1,278 @@
+package cmplxmat
+
+import "fmt"
+
+// This file holds the destination-passing kernels of the zero-allocation
+// generation engine. They mirror Mul/MulVec but write into caller-supplied
+// storage so steady-state hot loops never touch the heap.
+
+// RowView returns row i as a slice sharing the matrix backing array. Writes
+// through the returned slice are visible in the matrix; the slice stays valid
+// for the lifetime of the matrix.
+func (m *Matrix) RowView(i int) []complex128 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("cmplxmat: row %d out of range", i))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
+// Data returns the row-major backing array of the matrix (shared, not a
+// copy). It exists for hot scatter/gather loops that index the storage with
+// an explicit stride; everything else should go through At/Set/RowView.
+func (m *Matrix) Data() []complex128 { return m.data }
+
+// MulVecInto computes dst = a·x without allocating. dst must have length
+// a.Rows() and must not alias x.
+//
+// The dot product runs on four independent accumulators: a single running sum
+// serializes on floating-point add latency, which measurably dominates the
+// snapshot hot path at moderate N.
+func MulVecInto(dst []complex128, a *Matrix, x []complex128) error {
+	if a.cols != len(x) {
+		return fmt.Errorf("cmplxmat: MulVecInto %dx%d with vector of length %d: %w", a.rows, a.cols, len(x), ErrDimension)
+	}
+	if len(dst) != a.rows {
+		return fmt.Errorf("cmplxmat: MulVecInto destination length %d, want %d: %w", len(dst), a.rows, ErrDimension)
+	}
+	n := a.cols
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*n : (i+1)*n]
+		var s0, s1, s2, s3 complex128
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0 += row[j] * x[j]
+			s1 += row[j+1] * x[j+1]
+			s2 += row[j+2] * x[j+2]
+			s3 += row[j+3] * x[j+3]
+		}
+		for ; j < n; j++ {
+			s0 += row[j] * x[j]
+		}
+		dst[i] = (s0 + s1) + (s2 + s3)
+	}
+	return nil
+}
+
+// MulInto computes dst = a·b without allocating. dst must be a.Rows()×b.Cols()
+// and must not alias a or b.
+func MulInto(dst, a, b *Matrix) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("cmplxmat: MulInto %dx%d with %dx%d: %w", a.rows, a.cols, b.rows, b.cols, ErrDimension)
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("cmplxmat: MulInto destination %dx%d, want %dx%d: %w", dst.rows, dst.cols, a.rows, b.cols, ErrDimension)
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// colorBlockCols is the column-panel width of ColorBlock. A panel of W plus
+// the matching panel of Z stays resident in L1 while the n accumulation
+// passes over it run (128 columns × 16 bytes = 2 KiB per row).
+const colorBlockCols = 128
+
+// ColorBlock computes Z = L·W as one cache-blocked matrix-matrix product.
+// L is the n×n coloring matrix, W an n×m block whose column l is the raw
+// sample vector at time instant l, and Z the n×m destination. This turns the
+// per-instant coloring loop of the real-time generator (m independent
+// mat-vec products) into a single GEMM over flat backing arrays: W's rows are
+// streamed with unit stride through a register-blocked kernel, so throughput
+// is bounded by arithmetic rather than call and allocation overhead. When
+// every entry of L is purely real (the case for every real-valued covariance
+// target) a two-multiply-per-sample kernel runs instead of the full complex
+// product; its results are bit-identical to the generic kernel's. Z must not
+// alias L or W.
+func ColorBlock(l, w, z *Matrix) error {
+	if !l.IsSquare() {
+		return fmt.Errorf("cmplxmat: ColorBlock coloring matrix %dx%d not square: %w", l.rows, l.cols, ErrDimension)
+	}
+	n := l.rows
+	if w.rows != n {
+		return fmt.Errorf("cmplxmat: ColorBlock sample block has %d rows, want %d: %w", w.rows, n, ErrDimension)
+	}
+	if z.rows != n || z.cols != w.cols {
+		return fmt.Errorf("cmplxmat: ColorBlock destination %dx%d, want %dx%d: %w", z.rows, z.cols, n, w.cols, ErrDimension)
+	}
+	m := w.cols
+	allReal := true
+	for _, v := range l.data {
+		if imag(v) != 0 {
+			allReal = false
+			break
+		}
+	}
+	for j0 := 0; j0 < m; j0 += colorBlockCols {
+		j1 := j0 + colorBlockCols
+		if j1 > m {
+			j1 = m
+		}
+		switch {
+		case allReal && m > colorBlockCols:
+			colorPanelRealWide(l.data, w.data, z.data, n, m, j0, j1)
+		case allReal:
+			colorPanelReal(l.data, w.data, z.data, n, m, j0, j1)
+		default:
+			colorPanelCmplx(l.data, w.data, z.data, n, m, j0, j1)
+		}
+	}
+	return nil
+}
+
+// colorPanelRealWide accumulates one column panel of Z = L·W for purely real
+// L by streaming W rows with unit stride and updating four output rows per
+// sweep. It is the kernel of choice for wide blocks (the real-time path,
+// where m is the IDFT length): with large power-of-two m the columns of W
+// are far apart, so the k-strided tile kernel below would thrash a single L1
+// set, while this form is prefetch-friendly. Accumulation order over k is
+// unchanged, so results match the generic kernel bit for bit.
+func colorPanelRealWide(ld, wd, zd []complex128, n, m, j0, j1 int) {
+	width := j1 - j0
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		z0 := zd[i*m+j0 : i*m+j1 : i*m+j1]
+		z1 := zd[(i+1)*m+j0 : (i+1)*m+j1 : (i+1)*m+j1]
+		z2 := zd[(i+2)*m+j0 : (i+2)*m+j1 : (i+2)*m+j1]
+		z3 := zd[(i+3)*m+j0 : (i+3)*m+j1 : (i+3)*m+j1]
+		for q := 0; q < width; q++ {
+			z0[q], z1[q], z2[q], z3[q] = 0, 0, 0, 0
+		}
+		for k := 0; k < n; k++ {
+			l0 := real(ld[i*n+k])
+			l1 := real(ld[(i+1)*n+k])
+			l2 := real(ld[(i+2)*n+k])
+			l3 := real(ld[(i+3)*n+k])
+			if l0 == 0 && l1 == 0 && l2 == 0 && l3 == 0 {
+				continue
+			}
+			wrow := wd[k*m+j0 : k*m+j1 : k*m+j1]
+			for q, wv := range wrow {
+				wr, wi := real(wv), imag(wv)
+				z0[q] += complex(l0*wr, l0*wi)
+				z1[q] += complex(l1*wr, l1*wi)
+				z2[q] += complex(l2*wr, l2*wi)
+				z3[q] += complex(l3*wr, l3*wi)
+			}
+		}
+	}
+	for ; i < n; i++ {
+		zrow := zd[i*m+j0 : i*m+j1 : i*m+j1]
+		for q := range zrow {
+			zrow[q] = 0
+		}
+		for k := 0; k < n; k++ {
+			lr := real(ld[i*n+k])
+			if lr == 0 {
+				continue
+			}
+			wrow := wd[k*m+j0 : k*m+j1 : k*m+j1]
+			for q, wv := range wrow {
+				zrow[q] += complex(lr*real(wv), lr*imag(wv))
+			}
+		}
+	}
+}
+
+// colorPanelReal accumulates one column panel of Z = L·W for purely real L
+// with a 2×2 register tile: two output rows × two columns accumulate in
+// registers across the full k sweep, so the kernel issues four loads per
+// sixteen floating-point operations instead of a z load/store pair per
+// element-op — arithmetic-bound rather than memory-uop-bound. Used for
+// narrow blocks (batched snapshot panels), where the k stride is small
+// enough that the W panel stays L1-resident without set aliasing.
+// Accumulation order over k is unchanged (one ascending chain per output
+// entry), so results match the generic kernel bit for bit.
+func colorPanelReal(ld, wd, zd []complex128, n, m, j0, j1 int) {
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		l0 := ld[i*n : (i+1)*n : (i+1)*n]
+		l1 := ld[(i+1)*n : (i+2)*n : (i+2)*n]
+		z0 := zd[i*m+j0 : i*m+j1 : i*m+j1]
+		z1 := zd[(i+1)*m+j0 : (i+1)*m+j1 : (i+1)*m+j1]
+		q := 0
+		for ; q+2 <= len(z0); q += 2 {
+			var a00, a01, a10, a11 complex128
+			idx := j0 + q
+			for k := 0; k < n; k++ {
+				w0 := wd[idx]
+				w1 := wd[idx+1]
+				idx += m
+				c0 := real(l0[k])
+				c1 := real(l1[k])
+				a00 += complex(c0*real(w0), c0*imag(w0))
+				a01 += complex(c0*real(w1), c0*imag(w1))
+				a10 += complex(c1*real(w0), c1*imag(w0))
+				a11 += complex(c1*real(w1), c1*imag(w1))
+			}
+			z0[q], z0[q+1] = a00, a01
+			z1[q], z1[q+1] = a10, a11
+		}
+		for ; q < len(z0); q++ {
+			var a0, a1 complex128
+			idx := j0 + q
+			for k := 0; k < n; k++ {
+				wv := wd[idx]
+				idx += m
+				a0 += complex(real(l0[k])*real(wv), real(l0[k])*imag(wv))
+				a1 += complex(real(l1[k])*real(wv), real(l1[k])*imag(wv))
+			}
+			z0[q], z1[q] = a0, a1
+		}
+	}
+	if i < n {
+		lrow := ld[i*n : (i+1)*n : (i+1)*n]
+		zrow := zd[i*m+j0 : i*m+j1 : i*m+j1]
+		for q := range zrow {
+			var acc complex128
+			idx := j0 + q
+			for k := 0; k < n; k++ {
+				wv := wd[idx]
+				idx += m
+				acc += complex(real(lrow[k])*real(wv), real(lrow[k])*imag(wv))
+			}
+			zrow[q] = acc
+		}
+	}
+}
+
+// colorPanelCmplx is the generic complex kernel, with the per-entry real
+// shortcut kept for matrices that are only partially complex.
+func colorPanelCmplx(ld, wd, zd []complex128, n, m, j0, j1 int) {
+	for i := 0; i < n; i++ {
+		zrow := zd[i*m+j0 : i*m+j1 : i*m+j1]
+		for q := range zrow {
+			zrow[q] = 0
+		}
+		lrow := ld[i*n : (i+1)*n]
+		for k, lv := range lrow {
+			if lv == 0 {
+				continue
+			}
+			wrow := wd[k*m+j0 : k*m+j1 : k*m+j1]
+			if imag(lv) == 0 {
+				lr := real(lv)
+				for q, wv := range wrow {
+					zrow[q] += complex(lr*real(wv), lr*imag(wv))
+				}
+				continue
+			}
+			for q, wv := range wrow {
+				zrow[q] += lv * wv
+			}
+		}
+	}
+}

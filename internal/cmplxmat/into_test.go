@@ -1,0 +1,204 @@
+package cmplxmat
+
+import (
+	"errors"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	return m
+}
+
+func TestRowViewSharesBacking(t *testing.T) {
+	m := MustFromRows([][]complex128{{1, 2}, {3, 4}})
+	row := m.RowView(1)
+	if row[0] != 3 || row[1] != 4 {
+		t.Fatalf("RowView(1) = %v", row)
+	}
+	row[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Errorf("write through RowView not visible: At(1,0) = %v", m.At(1, 0))
+	}
+	// The three-index slice must not allow growth into the next row.
+	if cap(row) != 2 {
+		t.Errorf("RowView cap = %d, want 2", cap(row))
+	}
+}
+
+func TestMulVecIntoMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomMatrix(rng, 5, 7)
+	x := make([]complex128, 7)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want, err := MulVec(a, x)
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	dst := make([]complex128, 5)
+	if err := MulVecInto(dst, a, x); err != nil {
+		t.Fatalf("MulVecInto: %v", err)
+	}
+	// MulVecInto accumulates on four independent chains, so the summation
+	// order differs from MulVec: agreement is to round-off, not bit-exact.
+	for i := range want {
+		if cmplx.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Errorf("entry %d: %v vs %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMulVecIntoDimensionErrors(t *testing.T) {
+	a := Identity(3)
+	if err := MulVecInto(make([]complex128, 3), a, make([]complex128, 2)); !errors.Is(err, ErrDimension) {
+		t.Errorf("short x: err = %v", err)
+	}
+	if err := MulVecInto(make([]complex128, 2), a, make([]complex128, 3)); !errors.Is(err, ErrDimension) {
+		t.Errorf("short dst: err = %v", err)
+	}
+}
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomMatrix(rng, 4, 6)
+	b := randomMatrix(rng, 6, 5)
+	want := MustMul(a, b)
+	dst := New(4, 5)
+	// Pre-dirty the destination to prove MulInto fully overwrites it.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			dst.Set(i, j, complex(99, -99))
+		}
+	}
+	if err := MulInto(dst, a, b); err != nil {
+		t.Fatalf("MulInto: %v", err)
+	}
+	if !EqualApprox(dst, want, 0) {
+		t.Errorf("MulInto differs from Mul:\n%v\nvs\n%v", dst, want)
+	}
+}
+
+func TestMulIntoDimensionErrors(t *testing.T) {
+	a := New(2, 3)
+	b := New(4, 2)
+	if err := MulInto(New(2, 2), a, b); !errors.Is(err, ErrDimension) {
+		t.Errorf("inner mismatch: err = %v", err)
+	}
+	if err := MulInto(New(3, 3), a, New(3, 2)); !errors.Is(err, ErrDimension) {
+		t.Errorf("bad destination: err = %v", err)
+	}
+}
+
+func TestColorBlockMatchesColumnwiseMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, dims := range []struct{ n, m int }{{1, 1}, {3, 7}, {4, 128}, {5, 300}, {16, 129}} {
+		l := randomMatrix(rng, dims.n, dims.n)
+		w := randomMatrix(rng, dims.n, dims.m)
+		z := New(dims.n, dims.m)
+		if err := ColorBlock(l, w, z); err != nil {
+			t.Fatalf("ColorBlock(%d,%d): %v", dims.n, dims.m, err)
+		}
+		x := make([]complex128, dims.n)
+		for col := 0; col < dims.m; col++ {
+			for i := 0; i < dims.n; i++ {
+				x[i] = w.At(i, col)
+			}
+			want := MustMulVec(l, x)
+			for i := 0; i < dims.n; i++ {
+				if z.At(i, col) != want[i] {
+					t.Fatalf("n=%d m=%d entry (%d,%d): %v vs %v", dims.n, dims.m, i, col, z.At(i, col), want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestColorBlockRealColoringFastPath(t *testing.T) {
+	// Purely real coloring entries take specialized two-multiply kernels that
+	// must stay bit-identical to the generic complex kernel (same operations
+	// accumulated in the same order).
+	rng := rand.New(rand.NewSource(23))
+	for _, dims := range []struct{ n, m int }{{6, 64}, {6, 200}} { // narrow and wide kernels
+		n, m := dims.n, dims.m
+		lc := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				lc.Set(i, j, complex(rng.NormFloat64(), 0))
+			}
+		}
+		w := randomMatrix(rng, n, m)
+		z := New(n, m)
+		if err := ColorBlock(lc, w, z); err != nil {
+			t.Fatalf("ColorBlock: %v", err)
+		}
+		want := New(n, m)
+		for j0 := 0; j0 < m; j0 += colorBlockCols {
+			j1 := j0 + colorBlockCols
+			if j1 > m {
+				j1 = m
+			}
+			colorPanelCmplx(lc.data, w.data, want.data, n, m, j0, j1)
+		}
+		for col := 0; col < m; col++ {
+			for i := 0; i < n; i++ {
+				if z.At(i, col) != want.At(i, col) {
+					t.Fatalf("n=%d m=%d entry (%d,%d): %v vs %v", n, m, i, col, z.At(i, col), want.At(i, col))
+				}
+			}
+		}
+	}
+}
+
+func TestColorBlockDimensionErrors(t *testing.T) {
+	if err := ColorBlock(New(2, 3), New(3, 4), New(2, 4)); !errors.Is(err, ErrDimension) {
+		t.Errorf("non-square L: err = %v", err)
+	}
+	if err := ColorBlock(Identity(3), New(2, 4), New(3, 4)); !errors.Is(err, ErrDimension) {
+		t.Errorf("W row mismatch: err = %v", err)
+	}
+	if err := ColorBlock(Identity(3), New(3, 4), New(3, 5)); !errors.Is(err, ErrDimension) {
+		t.Errorf("Z shape mismatch: err = %v", err)
+	}
+}
+
+func TestIntoKernelsDoNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randomMatrix(rng, 8, 8)
+	x := make([]complex128, 8)
+	dstV := make([]complex128, 8)
+	w := randomMatrix(rng, 8, 256)
+	z := New(8, 256)
+	dstM := New(8, 8)
+	b := randomMatrix(rng, 8, 8)
+
+	if n := testing.AllocsPerRun(100, func() {
+		if err := MulVecInto(dstV, a, x); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("MulVecInto allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := MulInto(dstM, a, b); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("MulInto allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := ColorBlock(a, w, z); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("ColorBlock allocates %v per run", n)
+	}
+}

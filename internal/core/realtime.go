@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"math/cmplx"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cmplxmat"
 	"repro/internal/doppler"
@@ -45,14 +46,68 @@ type Block struct {
 	SampleVariance float64
 }
 
-// RealTimeGenerator implements the combined algorithm of Section 5.
+// NewBlock returns a Block with n×m storage carved out of two flat backing
+// arrays (one allocation per field instead of one per row). Blocks shaped
+// this way are what the Into generation paths reuse allocation-free.
+func NewBlock(n, m int) *Block {
+	gflat := make([]complex128, n*m)
+	eflat := make([]float64, n*m)
+	b := &Block{
+		Gaussian:  make([][]complex128, n),
+		Envelopes: make([][]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		b.Gaussian[j] = gflat[j*m : (j+1)*m : (j+1)*m]
+		b.Envelopes[j] = eflat[j*m : (j+1)*m : (j+1)*m]
+	}
+	return b
+}
+
+// ensureShape makes the block hold n rows of m samples, reusing existing row
+// storage when the lengths already match.
+func (b *Block) ensureShape(n, m int) {
+	if len(b.Gaussian) != n || len(b.Envelopes) != n {
+		nb := NewBlock(n, m)
+		b.Gaussian, b.Envelopes = nb.Gaussian, nb.Envelopes
+		return
+	}
+	for j := 0; j < n; j++ {
+		if len(b.Gaussian[j]) != m {
+			b.Gaussian[j] = make([]complex128, m)
+		}
+		if len(b.Envelopes[j]) != m {
+			b.Envelopes[j] = make([]float64, m)
+		}
+	}
+}
+
+// BlockScratch is the per-worker workspace of the parallel block fan-out: the
+// N×M input and output panels of the coloring GEMM plus the worker's Doppler
+// generators. For power-of-two M the generators are the generator-shared set
+// (read-only after construction, so concurrent BlockInto calls are safe); for
+// other lengths each worker gets private generators because the Bluestein
+// IDFT plan owns convolution scratch.
+type BlockScratch struct {
+	w, z *cmplxmat.Matrix
+	gens []*doppler.Generator
+}
+
+// RealTimeGenerator implements the combined algorithm of Section 5. The
+// generation hot path is batched: each block draws the N Doppler processes
+// into the rows of an N×M panel and colors all M time instants with a single
+// cache-blocked matrix-matrix product.
 type RealTimeGenerator struct {
 	snapshot   *SnapshotGenerator
 	generators []*doppler.Generator
 	rngs       []*randx.RNG
+	batchRoot  *randx.RNG // derives one stream set per block (GenerateBlocksInto)
 	n          int
 	m          int
 	sigmaG2    float64
+	spec       doppler.FilterSpec
+	inputVar   float64
+	w, z       *cmplxmat.Matrix // sequential-path GEMM panels
+	scratches  []*BlockScratch  // cached worker workspaces (GenerateBlocksInto)
 }
 
 // NewRealTimeGenerator validates the configuration and builds the N Doppler
@@ -99,13 +154,19 @@ func NewRealTimeGenerator(cfg RealTimeConfig) (*RealTimeGenerator, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := cfg.Filter.M
 	return &RealTimeGenerator{
 		snapshot:   snap,
 		generators: generators,
 		rngs:       rngs,
+		batchRoot:  root.Split(),
 		n:          n,
-		m:          cfg.Filter.M,
+		m:          m,
 		sigmaG2:    sigmaG2,
+		spec:       cfg.Filter,
+		inputVar:   inputVar,
+		w:          cmplxmat.New(n, m),
+		z:          cmplxmat.New(n, m),
 	}, nil
 }
 
@@ -128,42 +189,55 @@ func (g *RealTimeGenerator) TheoreticalAutocorrelation(lag int) float64 {
 }
 
 // GenerateBlock produces one block: each of the N Doppler generators emits M
-// time samples, and at every time instant l the vector of outputs is colored
-// by L/σ_g (steps 7–8 of the combined algorithm).
+// time samples, and the whole N×M panel is colored by L/σ_g in a single
+// matrix-matrix product (steps 7–8 of the combined algorithm, batched over
+// the block).
 func (g *RealTimeGenerator) GenerateBlock() *Block {
-	// Per-envelope filtered Gaussian sequences u_j[l] (Fig. 2 outputs).
-	u := make([][]complex128, g.n)
-	for j := 0; j < g.n; j++ {
-		u[j] = g.generators[j].Block(g.rngs[j])
-	}
-
-	gaussian := make([][]complex128, g.n)
-	envelopes := make([][]float64, g.n)
-	for j := 0; j < g.n; j++ {
-		gaussian[j] = make([]complex128, g.m)
-		envelopes[j] = make([]float64, g.m)
-	}
-
-	w := make([]complex128, g.n)
-	for l := 0; l < g.m; l++ {
-		for j := 0; j < g.n; j++ {
-			w[j] = u[j][l]
-		}
-		snap, err := g.snapshot.GenerateFromSamples(w)
-		if err != nil {
-			// Dimensions are fixed at construction; a mismatch here is a
-			// programming error, not a runtime condition.
-			panic(err)
-		}
-		for j := 0; j < g.n; j++ {
-			gaussian[j][l] = snap.Gaussian[j]
-			envelopes[j][l] = cmplx.Abs(snap.Gaussian[j])
-		}
-	}
-	return &Block{Gaussian: gaussian, Envelopes: envelopes, SampleVariance: g.sigmaG2}
+	b := NewBlock(g.n, g.m)
+	g.fillBlock(g.generators, g.rngs, g.w, g.z, b)
+	return b
 }
 
-// GenerateBlocks produces count consecutive independent blocks.
+// GenerateBlockInto produces the next block into b, reusing its storage when
+// it already has the right shape (rows of wrong length are reallocated). It
+// continues the same per-envelope random streams as GenerateBlock, produces
+// identical values, and performs no steady-state heap allocation for
+// power-of-two M.
+func (g *RealTimeGenerator) GenerateBlockInto(b *Block) error {
+	if b == nil {
+		return fmt.Errorf("core: nil destination block: %w", ErrBadInput)
+	}
+	b.ensureShape(g.n, g.m)
+	g.fillBlock(g.generators, g.rngs, g.w, g.z, b)
+	return nil
+}
+
+// fillBlock is the batched hot path: Doppler rows into w, one ColorBlock GEMM
+// into z, then a single fused pass that stores the colored samples and their
+// envelopes. The envelope is computed once per sample, straight from the
+// colored value.
+func (g *RealTimeGenerator) fillBlock(gens []*doppler.Generator, rngs []*randx.RNG, w, z *cmplxmat.Matrix, b *Block) {
+	for j := 0; j < g.n; j++ {
+		// Row length equals the generator's M by construction.
+		_ = gens[j].BlockInto(rngs[j], w.RowView(j))
+	}
+	// Dimensions are fixed at construction, so ColorBlock cannot fail.
+	_ = cmplxmat.ColorBlock(g.snapshot.coloring, w, z)
+	for j := 0; j < g.n; j++ {
+		zr := z.RowView(j)
+		gj := b.Gaussian[j]
+		ej := b.Envelopes[j]
+		for l, v := range zr {
+			gj[l] = v
+			ej[l] = envAbs(v)
+		}
+	}
+	b.SampleVariance = g.sigmaG2
+}
+
+// GenerateBlocks produces count consecutive blocks from the generator's
+// persistent streams (the sequential equivalent of calling GenerateBlock in a
+// loop).
 func (g *RealTimeGenerator) GenerateBlocks(count int) ([]*Block, error) {
 	if count <= 0 {
 		return nil, fmt.Errorf("core: block count %d must be positive: %w", count, ErrBadInput)
@@ -173,4 +247,97 @@ func (g *RealTimeGenerator) GenerateBlocks(count int) ([]*Block, error) {
 		out[i] = g.GenerateBlock()
 	}
 	return out, nil
+}
+
+// NewBlockScratch builds a worker workspace for GenerateBlocksInto.
+func (g *RealTimeGenerator) NewBlockScratch() (*BlockScratch, error) {
+	gens := g.generators
+	if g.m&(g.m-1) != 0 {
+		// Non-power-of-two M: the Bluestein scratch inside each generator's
+		// IDFT plan is not safe to share across workers.
+		gens = make([]*doppler.Generator, g.n)
+		for j := range gens {
+			dg, err := doppler.NewGenerator(g.spec, g.inputVar)
+			if err != nil {
+				return nil, fmt.Errorf("core: Doppler generator %d: %w", j, err)
+			}
+			gens[j] = dg
+		}
+	}
+	return &BlockScratch{
+		w:    cmplxmat.New(g.n, g.m),
+		z:    cmplxmat.New(g.n, g.m),
+		gens: gens,
+	}, nil
+}
+
+// GenerateBlocksInto fills dst with len(dst) consecutive blocks. Every block
+// draws from its own stream set, derived deterministically (and in block
+// order) from the generator seed, so the output is bit-identical for every
+// worker count; workers > 1 fans the blocks across that many goroutines, each
+// with a private BlockScratch. Entries of dst must be non-nil; their storage
+// is reused when already shaped.
+//
+// The per-block streams are distinct from the persistent streams behind
+// GenerateBlock: a batched run reproduces other batched runs, not a sequence
+// of GenerateBlock calls.
+func (g *RealTimeGenerator) GenerateBlocksInto(dst []*Block, workers int) error {
+	if len(dst) == 0 {
+		return fmt.Errorf("core: empty block destination: %w", ErrBadInput)
+	}
+	for i, b := range dst {
+		if b == nil {
+			return fmt.Errorf("core: nil destination block %d: %w", i, ErrBadInput)
+		}
+	}
+	// Split all streams up front, in block order: this is what pins the
+	// output regardless of scheduling.
+	blockRngs := make([][]*randx.RNG, len(dst))
+	for i := range dst {
+		root := g.batchRoot.Split()
+		rs := make([]*randx.RNG, g.n)
+		for j := range rs {
+			rs[j] = root.Split()
+		}
+		blockRngs[i] = rs
+	}
+	if workers > len(dst) {
+		workers = len(dst)
+	}
+	if workers <= 1 {
+		for i, b := range dst {
+			b.ensureShape(g.n, g.m)
+			g.fillBlock(g.generators, blockRngs[i], g.w, g.z, b)
+		}
+		return nil
+	}
+	// Worker workspaces persist across calls so a streaming caller pays their
+	// construction once, not per batch.
+	for len(g.scratches) < workers {
+		s, err := g.NewBlockScratch()
+		if err != nil {
+			return err
+		}
+		g.scratches = append(g.scratches, s)
+	}
+	scratches := g.scratches[:workers]
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	next.Store(-1)
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func(s *BlockScratch) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(dst) {
+					return
+				}
+				dst[i].ensureShape(g.n, g.m)
+				g.fillBlock(s.gens, blockRngs[i], s.w, s.z, dst[i])
+			}
+		}(scratches[wk])
+	}
+	wg.Wait()
+	return nil
 }

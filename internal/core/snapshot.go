@@ -3,7 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cmplxmat"
 	"repro/internal/randx"
@@ -42,7 +43,31 @@ type SnapshotGenerator struct {
 	rawL      *cmplxmat.Matrix // L itself (diagnostics)
 	sampleVar float64
 	rng       *randx.RNG
+	batchRoot *randx.RNG // derives one stream per batch chunk (GenerateBatchInto)
 	n         int
+	w         []complex128 // scratch for the raw sample vector W
+	colReal   []float64    // flat copy of the coloring matrix when purely real, else nil
+	panels    *snapPanels  // sequential-path GEMM panels of GenerateBatchInto
+}
+
+// snapPanels is the workspace of one batch worker: the N×chunk GEMM panels
+// with the W row views hoisted for the fill loop (Z is read back through its
+// flat backing array).
+type snapPanels struct {
+	w, z  *cmplxmat.Matrix
+	wRows [][]complex128
+}
+
+func newSnapPanels(n int) *snapPanels {
+	p := &snapPanels{
+		w: cmplxmat.New(n, batchChunkSize),
+		z: cmplxmat.New(n, batchChunkSize),
+	}
+	p.wRows = make([][]complex128, n)
+	for k := 0; k < n; k++ {
+		p.wRows[k] = p.w.RowView(k)
+	}
+	return p
 }
 
 // NewSnapshotGenerator validates the configuration, forces positive
@@ -67,14 +92,47 @@ func NewSnapshotGenerator(cfg SnapshotConfig) (*SnapshotGenerator, error) {
 	if err != nil {
 		return nil, err
 	}
+	rng := randx.New(cfg.Seed)
+	n := cfg.Covariance.Rows()
 	return &SnapshotGenerator{
 		forced:    forced,
 		coloring:  scaled,
 		rawL:      l,
 		sampleVar: sampleVar,
-		rng:       randx.New(cfg.Seed),
-		n:         cfg.Covariance.Rows(),
+		rng:       rng,
+		batchRoot: rng.Split(),
+		n:         n,
+		w:         make([]complex128, n),
+		colReal:   realEntries(scaled),
+		panels:    newSnapPanels(n),
 	}, nil
+}
+
+// realEntries returns the flat real parts of m when every entry is purely
+// real — the case for every real-valued covariance target, where the eigen
+// coloring stays real — or nil when any imaginary part survives. The real
+// copy lets ColorInto run a two-multiply dot product per sample instead of a
+// full complex one.
+func realEntries(m *cmplxmat.Matrix) []float64 {
+	r, c := m.Dims()
+	out := make([]float64, 0, r*c)
+	for i := 0; i < r; i++ {
+		for _, v := range m.RowView(i) {
+			if imag(v) != 0 {
+				return nil
+			}
+			out = append(out, real(v))
+		}
+	}
+	return out
+}
+
+// envAbs is |z| via a plain sqrt. Envelope magnitudes are O(σ_g), far from
+// the overflow/underflow range math.Hypot guards against, and sqrt is several
+// times cheaper on the hot path.
+func envAbs(v complex128) float64 {
+	re, im := real(v), imag(v)
+	return math.Sqrt(re*re + im*im)
 }
 
 // N returns the number of envelopes generated per snapshot.
@@ -93,29 +151,97 @@ func (g *SnapshotGenerator) SampleVariance() float64 { return g.sampleVar }
 
 // Generate produces one snapshot: steps 6 and 7 of the algorithm.
 func (g *SnapshotGenerator) Generate() Snapshot {
-	w := g.rng.ComplexNormalVector(g.n, g.sampleVar)
-	return g.color(w)
+	s := Snapshot{Gaussian: make([]complex128, g.n), Envelopes: make([]float64, g.n)}
+	// GenerateInto cannot fail: the destination lengths match by construction.
+	_ = g.GenerateInto(s.Gaussian, s.Envelopes)
+	return s
 }
 
-// GenerateFromSamples applies steps 7 to a caller-supplied vector W of
-// (nominally i.i.d.) complex Gaussian samples whose variance matches the
-// generator's SampleVariance. This is the entry point used by the real-time
-// combination of Section 5, where W comes from the Doppler generators.
-func (g *SnapshotGenerator) GenerateFromSamples(w []complex128) (Snapshot, error) {
+// GenerateInto draws one snapshot into caller-supplied storage: gaussian
+// receives the N colored complex Gaussian samples and env their moduli. Both
+// slices must have length N. The raw sample vector lives in generator-owned
+// scratch, so the call performs no heap allocation; the random stream and the
+// produced values are identical to Generate.
+func (g *SnapshotGenerator) GenerateInto(gaussian []complex128, env []float64) error {
+	g.rng.FillComplexNormal(g.w, g.sampleVar)
+	return g.ColorInto(g.w, gaussian, env)
+}
+
+// ColorInto applies step 7, Z = (L/σ_g)·W, writing the colored samples into
+// gaussian and their moduli into env without allocating. Unlike GenerateInto
+// it consumes no generator state, so concurrent calls with distinct arguments
+// are safe; it is the kernel under the batched and parallel generation paths.
+func (g *SnapshotGenerator) ColorInto(w, gaussian []complex128, env []float64) error {
 	if len(w) != g.n {
-		return Snapshot{}, fmt.Errorf("core: %d samples for %d envelopes: %w", len(w), g.n, ErrBadInput)
+		return fmt.Errorf("core: %d samples for %d envelopes: %w", len(w), g.n, ErrBadInput)
 	}
-	return g.color(w), nil
+	if len(gaussian) != g.n || len(env) != g.n {
+		return fmt.Errorf("core: destination lengths %d/%d for %d envelopes: %w", len(gaussian), len(env), g.n, ErrBadInput)
+	}
+	if g.colReal != nil {
+		g.colorRealInto(w, gaussian)
+	} else if err := cmplxmat.MulVecInto(gaussian, g.coloring, w); err != nil {
+		return err
+	}
+	for i, v := range gaussian {
+		env[i] = envAbs(v)
+	}
+	return nil
 }
 
-// color applies Z = (L/σ_g)·W and extracts the envelopes.
-func (g *SnapshotGenerator) color(w []complex128) Snapshot {
-	z := cmplxmat.MustMulVec(g.coloring, w)
-	env := make([]float64, g.n)
-	for i, v := range z {
-		env[i] = cmplx.Abs(v)
+// colorRealInto is the real-coloring matvec, blocked four output rows at a
+// time: each loaded sample feeds four rows, and the eight accumulators (re/im
+// per row) form independent dependency chains that keep the floating-point
+// pipeline full instead of serializing on add latency.
+func (g *SnapshotGenerator) colorRealInto(w, gaussian []complex128) {
+	n := g.n
+	col := g.colReal
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		r0 := col[i*n : (i+1)*n : (i+1)*n]
+		r1 := col[(i+1)*n : (i+2)*n : (i+2)*n]
+		r2 := col[(i+2)*n : (i+3)*n : (i+3)*n]
+		r3 := col[(i+3)*n : (i+4)*n : (i+4)*n]
+		var re0, im0, re1, im1, re2, im2, re3, im3 float64
+		for k, x := range w {
+			xr, xi := real(x), imag(x)
+			re0 += r0[k] * xr
+			im0 += r0[k] * xi
+			re1 += r1[k] * xr
+			im1 += r1[k] * xi
+			re2 += r2[k] * xr
+			im2 += r2[k] * xi
+			re3 += r3[k] * xr
+			im3 += r3[k] * xi
+		}
+		gaussian[i] = complex(re0, im0)
+		gaussian[i+1] = complex(re1, im1)
+		gaussian[i+2] = complex(re2, im2)
+		gaussian[i+3] = complex(re3, im3)
 	}
-	return Snapshot{Gaussian: z, Envelopes: env}
+	for ; i < n; i++ {
+		row := col[i*n : (i+1)*n : (i+1)*n]
+		var re, im float64
+		for k, x := range w {
+			re += row[k] * real(x)
+			im += row[k] * imag(x)
+		}
+		gaussian[i] = complex(re, im)
+	}
+}
+
+// GenerateFromSamples applies step 7 to a caller-supplied vector W of
+// (nominally i.i.d.) complex Gaussian samples whose variance matches the
+// generator's SampleVariance. The real-time combination of Section 5 used to
+// route every time instant through here; it now colors whole blocks at once
+// (see RealTimeGenerator), and this entry point remains for callers bringing
+// their own sample vectors.
+func (g *SnapshotGenerator) GenerateFromSamples(w []complex128) (Snapshot, error) {
+	s := Snapshot{Gaussian: make([]complex128, g.n), Envelopes: make([]float64, g.n)}
+	if err := g.ColorInto(w, s.Gaussian, s.Envelopes); err != nil {
+		return Snapshot{}, err
+	}
+	return s, nil
 }
 
 // GenerateBatch produces count independent snapshots.
@@ -128,6 +254,102 @@ func (g *SnapshotGenerator) GenerateBatch(count int) ([]Snapshot, error) {
 		out[i] = g.Generate()
 	}
 	return out, nil
+}
+
+// batchChunkSize is the number of snapshots drawn from one derived stream in
+// GenerateBatchInto. Chunk streams are split off in index order before any
+// generation happens, which is what makes the output independent of the
+// worker count.
+const batchChunkSize = 64
+
+// GenerateBatchInto fills dst with len(dst) independent snapshots, reusing
+// the Gaussian/Envelopes storage of each entry when it already has length N
+// (entries with wrong-length slices are reallocated). The batch is cut into
+// chunks of batchChunkSize; each chunk draws from its own stream derived
+// deterministically from the generator seed, and workers > 1 fans the chunks
+// across that many goroutines. For a fixed seed the output is bit-identical
+// for every worker count, including the sequential workers <= 1 path.
+//
+// Note the chunk streams are distinct from the stream behind Generate: a
+// batched run reproduces other batched runs, not an element-wise sequence of
+// Generate calls.
+func (g *SnapshotGenerator) GenerateBatchInto(dst []Snapshot, workers int) error {
+	if len(dst) == 0 {
+		return fmt.Errorf("core: empty batch destination: %w", ErrBadInput)
+	}
+	chunks := (len(dst) + batchChunkSize - 1) / batchChunkSize
+	rngs := make([]*randx.RNG, chunks)
+	for c := range rngs {
+		rngs[c] = g.batchRoot.Split()
+	}
+	if workers <= 1 || chunks == 1 {
+		for c := 0; c < chunks; c++ {
+			g.fillChunk(dst, c, rngs[c], g.panels)
+		}
+		return nil
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	next.Store(-1)
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			defer wg.Done()
+			panels := newSnapPanels(g.n)
+			for {
+				c := int(next.Add(1))
+				if c >= chunks {
+					return
+				}
+				g.fillChunk(dst, c, rngs[c], panels)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// fillChunk generates chunk c of a batch: the chunk's raw samples are drawn
+// row by row straight into the W panel (sample k of snapshot ci is draw
+// k·cols+ci of the chunk stream — contiguous fills, no gather), the whole
+// panel is colored with a single ColorBlock GEMM, and the colored columns are
+// scattered back out with their envelopes. Ragged tail chunks color the full
+// panel and simply ignore the unused columns, which keeps the kernel shape
+// fixed without consuming extra random draws.
+func (g *SnapshotGenerator) fillChunk(dst []Snapshot, c int, rng *randx.RNG, p *snapPanels) {
+	lo := c * batchChunkSize
+	hi := lo + batchChunkSize
+	if hi > len(dst) {
+		hi = len(dst)
+	}
+	cols := hi - lo
+	for _, row := range p.wRows {
+		rng.FillComplexNormal(row[:cols], g.sampleVar)
+	}
+	// Dimensions are fixed at construction, so ColorBlock cannot fail.
+	_ = cmplxmat.ColorBlock(g.coloring, p.w, p.z)
+	zd := p.z.Data()
+	for ci := 0; ci < cols; ci++ {
+		i := lo + ci
+		if len(dst[i].Gaussian) != g.n {
+			dst[i].Gaussian = make([]complex128, g.n)
+		}
+		if len(dst[i].Envelopes) != g.n {
+			dst[i].Envelopes = make([]float64, g.n)
+		}
+		gi := dst[i].Gaussian
+		ei := dst[i].Envelopes
+		idx := ci
+		for k := 0; k < g.n; k++ {
+			v := zd[idx]
+			idx += batchChunkSize
+			gi[k] = v
+			ei[k] = envAbs(v)
+		}
+	}
 }
 
 // NewSnapshotGeneratorFromEnvelopePowers builds the desired covariance matrix

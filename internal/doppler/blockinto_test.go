@@ -1,0 +1,54 @@
+package doppler
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestBlockIntoMatchesBlock(t *testing.T) {
+	for _, m := range []int{512, 1000} { // power of two and Bluestein
+		spec := FilterSpec{M: m, NormalizedDoppler: 0.05}
+		g, err := NewGenerator(spec, 0.5)
+		if err != nil {
+			t.Fatalf("NewGenerator(M=%d): %v", m, err)
+		}
+		want := g.Block(randx.New(31))
+		got := make([]complex128, m)
+		if err := g.BlockInto(randx.New(31), got); err != nil {
+			t.Fatalf("BlockInto(M=%d): %v", m, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("M=%d sample %d: BlockInto %v vs Block %v", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBlockIntoLengthError(t *testing.T) {
+	g, err := NewGenerator(FilterSpec{M: 512, NormalizedDoppler: 0.05}, 0.5)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	if err := g.BlockInto(randx.New(1), make([]complex128, 100)); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("short destination: err = %v", err)
+	}
+}
+
+func TestBlockIntoDoesNotAllocatePow2(t *testing.T) {
+	g, err := NewGenerator(FilterSpec{M: 1024, NormalizedDoppler: 0.05}, 0.5)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	rng := randx.New(37)
+	dst := make([]complex128, 1024)
+	if n := testing.AllocsPerRun(20, func() {
+		if err := g.BlockInto(rng, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("BlockInto allocates %v per run at power-of-two M", n)
+	}
+}

@@ -17,8 +17,10 @@ import (
 type Generator struct {
 	spec       FilterSpec
 	sigmaOrig2 float64
+	sigmaOrig  float64
 	coeffs     []float64
 	outputVar  float64
+	plan       *dsp.Plan
 }
 
 // NewGenerator builds a Generator for the given filter spec and input
@@ -35,8 +37,10 @@ func NewGenerator(spec FilterSpec, sigmaOrig2 float64) (*Generator, error) {
 	return &Generator{
 		spec:       spec,
 		sigmaOrig2: sigmaOrig2,
+		sigmaOrig:  math.Sqrt(sigmaOrig2),
 		coeffs:     coeffs,
 		outputVar:  OutputVariance(coeffs, spec.M, sigmaOrig2),
+		plan:       dsp.NewPlan(spec.M),
 	}, nil
 }
 
@@ -58,19 +62,39 @@ func (g *Generator) BlockLength() int { return g.spec.M }
 // Block generates one block of M time-domain samples u[0..M−1] using fresh
 // Gaussian input from rng. Each call produces an independent block.
 func (g *Generator) Block(rng *randx.RNG) []complex128 {
+	out := make([]complex128, g.spec.M)
+	// Length is correct by construction, so BlockInto cannot fail.
+	_ = g.BlockInto(rng, out)
+	return out
+}
+
+// BlockInto generates one block of M time-domain samples into dst, which must
+// have length M. The frequency-domain samples are written directly into dst
+// and transformed in place by the cached IDFT plan, so for power-of-two M the
+// call performs no heap allocation. The Gaussian draw order is identical to
+// Block.
+//
+// The generator itself is read-only after construction; concurrent BlockInto
+// calls with distinct rng and dst are safe when M is a power of two (the
+// plan's Bluestein scratch for other lengths is shared).
+func (g *Generator) BlockInto(rng *randx.RNG, dst []complex128) error {
 	m := g.spec.M
-	std := math.Sqrt(g.sigmaOrig2)
-	spectrum := make([]complex128, m)
+	if len(dst) != m {
+		return fmt.Errorf("doppler: BlockInto destination length %d, want %d: %w", len(dst), m, ErrBadParameter)
+	}
 	for k := 0; k < m; k++ {
-		if g.coeffs[k] == 0 {
+		c := g.coeffs[k]
+		if c == 0 {
+			dst[k] = 0
 			continue
 		}
-		a := rng.Normal(0, std)
-		b := rng.Normal(0, std)
+		a := rng.Normal(0, g.sigmaOrig)
+		b := rng.Normal(0, g.sigmaOrig)
 		// U[k] = F[k]·A[k] − i·F[k]·B[k]
-		spectrum[k] = complex(g.coeffs[k]*a, -g.coeffs[k]*b)
+		dst[k] = complex(c*a, -c*b)
 	}
-	return dsp.IFFT(spectrum)
+	g.plan.InverseScaled(dst)
+	return nil
 }
 
 // TheoreticalLagCorrelation returns the unnormalized theoretical

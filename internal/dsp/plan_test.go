@@ -1,0 +1,117 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPlanForwardMatchesFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range []int{1, 2, 4, 8, 64, 1024, 3, 5, 12, 100, 257} {
+		p := NewPlan(n)
+		if p.Len() != n {
+			t.Fatalf("Len = %d, want %d", p.Len(), n)
+		}
+		x := randomComplexSlice(rng, n)
+		want := FFT(x)
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Errorf("n=%d: plan forward deviates from FFT by %g", n, d)
+		}
+	}
+}
+
+func TestPlanInverseScaledMatchesIFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for _, n := range []int{2, 16, 512, 4096, 6, 30, 243} {
+		p := NewPlan(n)
+		x := randomComplexSlice(rng, n)
+		want := IFFT(x)
+		got := append([]complex128(nil), x...)
+		p.InverseScaled(got)
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Errorf("n=%d: plan inverse deviates from IFFT by %g", n, d)
+		}
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for _, n := range []int{8, 128, 7, 60} {
+		p := NewPlan(n)
+		x := randomComplexSlice(rng, n)
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		p.InverseScaled(got)
+		if d := maxAbsDiff(got, x); d > 1e-9 {
+			t.Errorf("n=%d: forward+inverse round trip error %g", n, d)
+		}
+	}
+}
+
+func TestPlanReuseIsStable(t *testing.T) {
+	// Repeated transforms through one plan must give identical results:
+	// cached state must not be corrupted by use.
+	rng := rand.New(rand.NewSource(109))
+	for _, n := range []int{64, 12} {
+		p := NewPlan(n)
+		x := randomComplexSlice(rng, n)
+		first := append([]complex128(nil), x...)
+		p.Forward(first)
+		for rep := 0; rep < 3; rep++ {
+			again := append([]complex128(nil), x...)
+			p.Forward(again)
+			for i := range again {
+				if again[i] != first[i] {
+					t.Fatalf("n=%d rep %d: transform not reproducible at %d", n, rep, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanPow2TransformDoesNotAllocate(t *testing.T) {
+	p := NewPlan(4096)
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(float64(i%7), float64(i%5))
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		p.InverseScaled(x)
+	}); n != 0 {
+		t.Errorf("power-of-two InverseScaled allocates %v per run", n)
+	}
+}
+
+func TestPlanLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("length mismatch did not panic")
+		}
+	}()
+	NewPlan(8).Forward(make([]complex128, 4))
+}
+
+func BenchmarkPlanInverse4096(b *testing.B) {
+	p := NewPlan(4096)
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(float64(i%11), -float64(i%3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.InverseScaled(x)
+	}
+}
+
+func BenchmarkIFFT4096(b *testing.B) {
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(float64(i%11), -float64(i%3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = IFFT(x)
+	}
+}

@@ -14,11 +14,22 @@ import (
 // derives independent streams).
 type RNG struct {
 	src *rand.Rand
+	// sm is the underlying splitmix64 source. Gaussian draws go through the
+	// package's direct ziggurat on it instead of the stdlib's
+	// interface-dispatched sampler, which roughly halves the per-draw cost.
+	sm *splitmix64
 }
 
-// New returns an RNG seeded with the given seed.
+// New returns an RNG seeded with the given seed. The underlying source is a
+// splitmix64: construction is O(1) (the stdlib source pays a 607-word seeding
+// pass, ~12 µs, which matters when Split derives one stream per envelope) and
+// Gaussian draws go through the package's direct ziggurat instead of the
+// stdlib's interface-dispatched one, which roughly halves the per-draw cost on
+// the generation hot paths. Streams remain deterministic functions of the
+// seed.
 func New(seed int64) *RNG {
-	return &RNG{src: rand.New(rand.NewSource(seed))}
+	sm := &splitmix64{state: uint64(seed)}
+	return &RNG{src: rand.New(sm), sm: sm}
 }
 
 // Split derives a new, independently seeded RNG from this one. The derived
@@ -29,6 +40,25 @@ func (r *RNG) Split() *RNG {
 	return New(r.src.Int63())
 }
 
+// splitmix64 is a tiny O(1)-construction Source64 (Steele, Lea & Flood,
+// "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014). The
+// default math/rand source pays a 607-word seeding pass on construction
+// (~12 µs), which dominates when a batched generation path derives one
+// stream per chunk of work; splitmix64 construction is two words.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
+
 // Float64 returns a uniform sample in [0, 1).
 func (r *RNG) Float64() float64 { return r.src.Float64() }
 
@@ -38,18 +68,25 @@ func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
 // Normal returns a Gaussian sample with the given mean and standard
 // deviation.
 func (r *RNG) Normal(mean, stddev float64) float64 {
-	return mean + stddev*r.src.NormFloat64()
+	return mean + stddev*r.sm.normFloat64()
 }
 
 // NormalVector fills and returns a slice of n independent zero-mean Gaussian
 // samples with variance sigma2.
 func (r *RNG) NormalVector(n int, sigma2 float64) []float64 {
-	std := math.Sqrt(sigma2)
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = std * r.src.NormFloat64()
-	}
+	r.FillNormal(out, sigma2)
 	return out
+}
+
+// FillNormal fills dst with independent zero-mean Gaussian samples with
+// variance sigma2, drawing exactly the same sequence as NormalVector but
+// without allocating.
+func (r *RNG) FillNormal(dst []float64, sigma2 float64) {
+	std := math.Sqrt(sigma2)
+	for i := range dst {
+		dst[i] = std * r.sm.normFloat64()
+	}
 }
 
 // ComplexNormal returns a zero-mean circularly-symmetric complex Gaussian
@@ -58,17 +95,23 @@ func (r *RNG) NormalVector(n int, sigma2 float64) []float64 {
 // paper.
 func (r *RNG) ComplexNormal(sigma2 float64) complex128 {
 	std := math.Sqrt(sigma2 / 2)
-	return complex(std*r.src.NormFloat64(), std*r.src.NormFloat64())
+	return complex(std*r.sm.normFloat64(), std*r.sm.normFloat64())
 }
 
 // ComplexNormalVector returns n independent CN(0, sigma2) samples.
 func (r *RNG) ComplexNormalVector(n int, sigma2 float64) []complex128 {
 	out := make([]complex128, n)
-	std := math.Sqrt(sigma2 / 2)
-	for i := range out {
-		out[i] = complex(std*r.src.NormFloat64(), std*r.src.NormFloat64())
-	}
+	r.FillComplexNormal(out, sigma2)
 	return out
+}
+
+// FillComplexNormal fills dst with independent CN(0, sigma2) samples, drawing
+// exactly the same sequence as ComplexNormalVector but without allocating.
+func (r *RNG) FillComplexNormal(dst []complex128, sigma2 float64) {
+	std := math.Sqrt(sigma2 / 2)
+	for i := range dst {
+		dst[i] = complex(std*r.sm.normFloat64(), std*r.sm.normFloat64())
+	}
 }
 
 // Rayleigh returns a Rayleigh-distributed sample with scale parameter sigma

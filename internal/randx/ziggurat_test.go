@@ -1,0 +1,105 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+// The package ziggurat is an independent normal sampler (its tables are
+// computed at init, not taken from the stdlib), so its output distribution
+// needs its own statistical coverage.
+
+func TestZigguratNormalMoments(t *testing.T) {
+	rng := New(733).Split()
+	const n = 400000
+	var sum, sum2, sum3, sum4 float64
+	for i := 0; i < n; i++ {
+		x := rng.Normal(0, 1)
+		sum += x
+		sum2 += x * x
+		sum3 += x * x * x
+		sum4 += x * x * x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	skew := sum3 / n
+	kurt := sum4 / n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("variance = %g, want ~1", variance)
+	}
+	if math.Abs(skew) > 0.03 {
+		t.Errorf("third moment = %g, want ~0", skew)
+	}
+	if math.Abs(kurt-3) > 0.1 {
+		t.Errorf("fourth moment = %g, want ~3", kurt)
+	}
+}
+
+func TestZigguratNormalTailFrequency(t *testing.T) {
+	// The ziggurat tail path must fire with the right probability:
+	// P(|X| > 3.442) ≈ 5.76e-4.
+	rng := New(739).Split()
+	const n = 2000000
+	tail := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(rng.Normal(0, 1)) > zigR {
+			tail++
+		}
+	}
+	got := float64(tail) / n
+	want := 2 * 0.5 * math.Erfc(zigR/math.Sqrt2)
+	if got < want/2 || got > want*2 {
+		t.Errorf("tail frequency %g, want about %g", got, want)
+	}
+}
+
+func TestSplitDeterminismAndIndependence(t *testing.T) {
+	a := New(743).Split()
+	b := New(743).Split()
+	for i := 0; i < 100; i++ {
+		if a.Normal(0, 1) != b.Normal(0, 1) {
+			t.Fatalf("same-seed Split streams diverged at draw %d", i)
+		}
+	}
+	// Sibling streams must differ.
+	parent := New(747)
+	c := parent.Split()
+	d := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Normal(0, 1) == d.Normal(0, 1) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("sibling Split streams matched on %d/100 draws", same)
+	}
+}
+
+func TestFillNormalMatchesSingleDraws(t *testing.T) {
+	a := New(751).Split()
+	b := New(751).Split()
+	want := make([]float64, 40)
+	for i := range want {
+		want[i] = a.Normal(0, 2) // stddev 2 = sqrt(sigma2 4)
+	}
+	got := make([]float64, 40)
+	b.FillNormal(got, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d: FillNormal %v vs Normal %v", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	rng := New(1)
+	dst := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.FillNormal(dst, 1)
+	}
+}

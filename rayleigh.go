@@ -38,7 +38,9 @@ type Diagnostics struct {
 // Generator produces independent snapshots of N correlated Rayleigh fading
 // envelopes (the single-time-instant algorithm of Section 4.4 of the paper).
 type Generator struct {
-	inner *core.SnapshotGenerator
+	inner   *core.SnapshotGenerator
+	workers int
+	batch   []core.Snapshot // reusable header scratch for SnapshotsInto
 }
 
 // Config configures a Generator built directly from a covariance matrix.
@@ -50,6 +52,13 @@ type Config struct {
 	// Seed seeds the random stream. The same seed reproduces the same
 	// sequence of snapshots.
 	Seed int64
+	// Parallel is the worker count of the batched generation path
+	// (SnapshotsInto). Values <= 1 select the sequential path. The output of a
+	// seeded run is bit-identical for every setting, including sequential:
+	// each chunk of work draws from its own stream derived deterministically
+	// from the seed before any generation starts, so the schedule cannot leak
+	// into the values.
+	Parallel int
 }
 
 // New builds a Generator for the desired covariance matrix.
@@ -62,7 +71,7 @@ func New(cfg Config) (*Generator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rayleigh: %w", err)
 	}
-	return &Generator{inner: inner}, nil
+	return &Generator{inner: inner, workers: cfg.Parallel}, nil
 }
 
 // NewFromEnvelopePowers builds a Generator from a correlation-coefficient
@@ -103,6 +112,37 @@ func (g *Generator) Snapshots(count int) ([]Snapshot, error) {
 	return out, nil
 }
 
+// SnapshotsInto fills dst with len(dst) independent snapshots, reusing the
+// Gaussian/Envelopes storage of every entry that already has length N (entries
+// with missing or wrong-length slices are allocated). This is the streaming
+// counterpart of Snapshots for long-running simulations: with pre-shaped
+// destinations the per-sample heap traffic is amortized O(1) (a handful of
+// stream derivations per 64-snapshot chunk, nothing per sample).
+//
+// When Config.Parallel > 1 the chunks fan out across that many workers; the
+// output is bit-identical for every worker count. The batched path draws from
+// chunk streams derived from the seed, so it reproduces other batched runs,
+// not an element-wise sequence of Snapshot calls.
+func (g *Generator) SnapshotsInto(dst []Snapshot) error {
+	if cap(g.batch) < len(dst) {
+		g.batch = make([]core.Snapshot, len(dst))
+	}
+	batch := g.batch[:len(dst)]
+	for i := range dst {
+		batch[i] = core.Snapshot{Gaussian: dst[i].Gaussian, Envelopes: dst[i].Envelopes}
+	}
+	if err := g.inner.GenerateBatchInto(batch, g.workers); err != nil {
+		return fmt.Errorf("rayleigh: %w", err)
+	}
+	for i := range dst {
+		dst[i] = Snapshot{Gaussian: batch[i].Gaussian, Envelopes: batch[i].Envelopes}
+		// Drop the scratch's reference so the generator does not pin the
+		// caller's sample storage beyond the call.
+		batch[i] = core.Snapshot{}
+	}
+	return nil
+}
+
 // Diagnostics reports the covariance conditioning applied at construction.
 func (g *Generator) Diagnostics() Diagnostics {
 	return diagnosticsFromForced(g.inner.Diagnostics())
@@ -113,7 +153,11 @@ func (g *Generator) Diagnostics() Diagnostics {
 // autocorrelation follows the Jakes model J0(2π·fm·d) (Section 5, Fig. 3 of
 // the paper).
 type RealTime struct {
-	inner *core.RealTimeGenerator
+	inner   *core.RealTimeGenerator
+	workers int
+	scratch core.Block   // header scratch for BlockInto
+	blocks  []core.Block // backing structs for BlocksInto
+	views   []*core.Block
 }
 
 // RealTimeConfig configures a RealTime generator.
@@ -134,6 +178,11 @@ type RealTimeConfig struct {
 	InputVariance float64
 	// Seed seeds the random streams.
 	Seed int64
+	// Parallel is the worker count of the batched generation path
+	// (BlocksInto). Values <= 1 select the sequential path; the output of a
+	// seeded run is bit-identical for every setting because every block draws
+	// from its own stream set, derived in block order before generation starts.
+	Parallel int
 }
 
 // Block is one block of M consecutive time samples for each of the N
@@ -160,7 +209,7 @@ func NewRealTime(cfg RealTimeConfig) (*RealTime, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rayleigh: %w", err)
 	}
-	return &RealTime{inner: inner}, nil
+	return &RealTime{inner: inner, workers: cfg.Parallel}, nil
 }
 
 // N returns the number of envelopes.
@@ -173,6 +222,68 @@ func (r *RealTime) BlockLength() int { return r.inner.BlockLength() }
 func (r *RealTime) Block() Block {
 	b := r.inner.GenerateBlock()
 	return Block{Gaussian: b.Gaussian, Envelopes: b.Envelopes}
+}
+
+// BlockInto generates the next block into b, reusing its storage when it
+// already holds N rows of BlockLength samples (an empty or wrong-shaped block
+// is [re]allocated in place). It continues the same random streams as Block
+// and produces identical values; with a pre-shaped destination and a
+// power-of-two IDFT length the call performs no steady-state heap allocation.
+// This is the streaming API for feeding live channel simulators sample block
+// by sample block.
+func (r *RealTime) BlockInto(b *Block) error {
+	if b == nil {
+		return fmt.Errorf("rayleigh: nil destination block: %w", ErrInvalidConfig)
+	}
+	r.scratch.Gaussian, r.scratch.Envelopes = b.Gaussian, b.Envelopes
+	if err := r.inner.GenerateBlockInto(&r.scratch); err != nil {
+		return fmt.Errorf("rayleigh: %w", err)
+	}
+	b.Gaussian, b.Envelopes = r.scratch.Gaussian, r.scratch.Envelopes
+	r.scratch.Gaussian, r.scratch.Envelopes = nil, nil
+	return nil
+}
+
+// BlocksInto fills dst with len(dst) consecutive blocks, reusing the storage
+// of every pre-shaped entry; nil entries are replaced by freshly allocated
+// blocks. When RealTimeConfig.Parallel > 1 the blocks fan out across that many
+// workers, each with private Doppler generators and GEMM panels, and the
+// output is bit-identical for every worker count: every block draws from its
+// own stream set, derived in block order from the seed before generation
+// starts.
+//
+// The per-block streams are distinct from the streams behind Block/BlockInto:
+// a batched run reproduces other batched runs, not a sequence of Block calls.
+func (r *RealTime) BlocksInto(dst []*Block) error {
+	if len(dst) == 0 {
+		return fmt.Errorf("rayleigh: empty block destination: %w", ErrInvalidConfig)
+	}
+	if cap(r.blocks) < len(dst) {
+		r.blocks = make([]core.Block, len(dst))
+		r.views = make([]*core.Block, len(dst))
+		for i := range r.blocks {
+			r.views[i] = &r.blocks[i]
+		}
+	}
+	blocks := r.blocks[:len(dst)]
+	views := r.views[:len(dst)]
+	for i, b := range dst {
+		if b == nil {
+			b = &Block{}
+			dst[i] = b
+		}
+		blocks[i].Gaussian, blocks[i].Envelopes = b.Gaussian, b.Envelopes
+	}
+	if err := r.inner.GenerateBlocksInto(views, r.workers); err != nil {
+		return fmt.Errorf("rayleigh: %w", err)
+	}
+	for i, b := range dst {
+		b.Gaussian, b.Envelopes = blocks[i].Gaussian, blocks[i].Envelopes
+		// Drop the scratch's reference so the generator does not pin the
+		// caller's block storage beyond the call.
+		blocks[i] = core.Block{}
+	}
+	return nil
 }
 
 // TheoreticalAutocorrelation returns the designed per-envelope normalized
