@@ -7,13 +7,19 @@
 // against:
 //
 //	go run ./cmd/benchreport -o BENCH_core.json
+//
+// With -compare the command doubles as the CI benchmark-regression gate: the
+// fresh results are checked against a committed baseline report and the
+// process exits non-zero when any benchmark's ns/op regresses by more than
+// -tolerance (or disappears from the run):
+//
+//	go run ./cmd/benchreport -o /tmp/bench.json -compare BENCH_core.json -tolerance 0.25
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -21,6 +27,7 @@ import (
 	"repro/internal/cmplxmat"
 	"repro/internal/core"
 	"repro/internal/doppler"
+	"repro/internal/scenario"
 )
 
 type result struct {
@@ -43,29 +50,16 @@ type report struct {
 	Benchmarks []result `json:"benchmarks"`
 }
 
-// paperEq22Matrix is the N = 3 covariance matrix the paper prints as Eq. (22).
-func paperEq22Matrix() *cmplxmat.Matrix {
-	return cmplxmat.MustFromRows([][]complex128{
-		{1, 0.3782 + 0.4753i, 0.0878 + 0.2207i},
-		{0.3782 - 0.4753i, 1, 0.3063 + 0.3849i},
-		{0.0878 - 0.2207i, 0.3063 - 0.3849i, 1},
-	})
-}
-
 // exponentialCovariance is the scalable N = 16 target K[i][j] = 0.7^|i-j|,
-// matching benchExponentialCovariance in bench_test.go.
+// the same workload benchExponentialCovariance drives in bench_test.go,
+// built through the canonical scenario model.
 func exponentialCovariance(n int) *cmplxmat.Matrix {
-	m := cmplxmat.New(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			d := i - j
-			if d < 0 {
-				d = -d
-			}
-			m.Set(i, j, complex(math.Pow(0.7, float64(d)), 0))
-		}
+	m := scenario.ModelSpec{Type: scenario.ModelExponential, N: n, Rho: 0.7}
+	k, err := m.Build()
+	if err != nil {
+		fatalf("exponential covariance: %v", err)
 	}
-	return m
+	return k
 }
 
 func measure(name string, samplesPerOp int, fn func(b *testing.B)) result {
@@ -155,6 +149,8 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file ('-' for stdout)")
+	comparePath := flag.String("compare", "", "baseline report to gate against (e.g. BENCH_core.json)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline")
 	flag.Parse()
 
 	rep := report{
@@ -167,7 +163,7 @@ func main() {
 		name string
 		k    *cmplxmat.Matrix
 	}{
-		{"N=3", paperEq22Matrix()},
+		{"N=3", scenario.Eq22Covariance()},
 		{"N=16", exponentialCovariance(16)},
 	}
 	for _, t := range targets {
@@ -184,10 +180,25 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	}
+
+	if *comparePath == "" {
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatalf("write %s: %v", *out, err)
+	baseline, err := loadReport(*comparePath)
+	if err != nil {
+		fatalf("baseline: %v", err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	comparisons, ok := compareReports(baseline, rep, *tolerance)
+	fmt.Print(formatComparisons(comparisons, *tolerance))
+	if !ok {
+		fatalf("benchmark regression beyond %+.0f%% vs %s", 100**tolerance, *comparePath)
+	}
+	fmt.Printf("benchmark gate passed: %d benchmarks within %+.0f%% of %s\n",
+		len(comparisons), 100**tolerance, *comparePath)
 }

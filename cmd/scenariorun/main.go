@@ -1,0 +1,149 @@
+// Command scenariorun drives the declarative scenario harness: it loads the
+// JSON specs of a scenario directory, runs the selected ones through the
+// internal/scenario gate engine, prints a markdown report, and exits
+// non-zero when any gate fails. It is the release gate CI runs on every
+// pull request.
+//
+//	go run ./cmd/scenariorun -all                    # run every scenario
+//	go run ./cmd/scenariorun -list                   # list scenarios and tags
+//	go run ./cmd/scenariorun -run ofdm               # name/tag substring filter
+//	go run ./cmd/scenariorun -all -json out.json -md out.md
+//
+// Exit codes: 0 all gates passed, 1 at least one gate failed, 2 bad usage or
+// spec/config error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "scenarios", "scenario spec directory")
+		all      = flag.Bool("all", false, "run every scenario")
+		runMatch = flag.String("run", "", "run scenarios whose name or tags contain this substring")
+		list     = flag.Bool("list", false, "list scenarios and exit")
+		jsonOut  = flag.String("json", "", "write the JSON report to this file")
+		mdOut    = flag.String("md", "", "write the markdown report to this file")
+		quiet    = flag.Bool("q", false, "suppress the markdown report on stdout")
+	)
+	flag.Parse()
+
+	specs, err := scenario.LoadDir(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(specs) == 0 {
+		fatal(fmt.Errorf("no scenario specs in %s", *dir))
+	}
+
+	if *list {
+		for _, s := range specs {
+			tags := ""
+			if len(s.Tags) > 0 {
+				tags = " [" + strings.Join(s.Tags, ", ") + "]"
+			}
+			fmt.Printf("%-36s%s  %s\n", s.Name, tags, s.Description)
+		}
+		return
+	}
+
+	selected := filter(specs, *all, *runMatch)
+	if len(selected) == 0 {
+		fatal(fmt.Errorf("no scenarios selected; use -all, -list, or -run <substring>"))
+	}
+
+	results := make([]*scenario.Result, 0, len(selected))
+	for _, s := range selected {
+		res, err := scenario.Run(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "scenariorun: %-36s %s\n", s.Name, status(res.Passed))
+		results = append(results, res)
+	}
+	report := scenario.NewReport(results)
+
+	if *jsonOut != "" {
+		data, err := report.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeFile(*jsonOut, data); err != nil {
+			fatal(err)
+		}
+	}
+	md := report.Markdown()
+	if *mdOut != "" {
+		if err := writeFile(*mdOut, []byte(md)); err != nil {
+			fatal(err)
+		}
+	}
+	if !*quiet {
+		fmt.Print(md)
+	}
+	if !report.AllPassed() {
+		fmt.Fprintf(os.Stderr, "scenariorun: %d of %d scenarios FAILED\n", report.Failed, report.Total)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "scenariorun: all %d scenarios passed\n", report.Total)
+}
+
+// filter selects the scenarios to run: all of them, or those whose name or
+// tags contain the match substring.
+func filter(specs []*scenario.Spec, all bool, match string) []*scenario.Spec {
+	if all {
+		return specs
+	}
+	if match == "" {
+		return nil
+	}
+	var out []*scenario.Spec
+	for _, s := range specs {
+		if matches(s, match) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// matches reports whether the spec's name or any tag contains the substring.
+func matches(s *scenario.Spec, match string) bool {
+	if strings.Contains(s.Name, match) {
+		return true
+	}
+	for _, t := range s.Tags {
+		if strings.Contains(t, match) {
+			return true
+		}
+	}
+	return false
+}
+
+func status(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// writeFile writes data, creating parent directories as needed.
+func writeFile(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "scenariorun: %v\n", err)
+	os.Exit(2)
+}

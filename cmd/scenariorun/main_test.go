@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func specsNamed(names ...string) []*scenario.Spec {
+	out := make([]*scenario.Spec, len(names))
+	for i, n := range names {
+		out[i] = &scenario.Spec{Name: n}
+	}
+	return out
+}
+
+func names(specs []*scenario.Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func TestFilterAll(t *testing.T) {
+	specs := specsNamed("a", "b", "c")
+	if got := filter(specs, true, ""); len(got) != 3 {
+		t.Errorf("filter -all returned %v", names(got))
+	}
+}
+
+func TestFilterBySubstring(t *testing.T) {
+	specs := specsNamed("eq22-snapshot", "ofdm-spectral", "realtime-eq22")
+	got := filter(specs, false, "eq22")
+	if len(got) != 2 || got[0].Name != "eq22-snapshot" || got[1].Name != "realtime-eq22" {
+		t.Errorf("filter eq22 returned %v", names(got))
+	}
+	if got := filter(specs, false, "nothing-matches"); len(got) != 0 {
+		t.Errorf("filter miss returned %v", names(got))
+	}
+	if got := filter(specs, false, ""); got != nil {
+		t.Errorf("empty filter without -all returned %v", names(got))
+	}
+}
+
+func TestFilterByTag(t *testing.T) {
+	specs := []*scenario.Spec{
+		{Name: "a", Tags: []string{"ofdm", "batched"}},
+		{Name: "b", Tags: []string{"mimo"}},
+	}
+	got := filter(specs, false, "ofdm")
+	if len(got) != 1 || got[0].Name != "a" {
+		t.Errorf("tag filter returned %v", names(got))
+	}
+}

@@ -1,34 +1,34 @@
 // Command validate runs the statistical validation experiments behind
-// EXPERIMENTS.md and prints a report:
+// EXPERIMENTS.md by expressing each one as a declarative scenario and
+// driving it through the internal/scenario gate engine (the same engine
+// behind cmd/scenariorun and the checked-in scenarios/ specs):
 //
 //   - E5/E9: snapshot-mode sample covariance versus the desired Eq. (22)
-//     matrix, and the envelope mean/variance relations of Eq. (14)–(15);
-//   - E6: behaviour on an indefinite covariance matrix — Cholesky baselines
-//     abort, the proposed forcing succeeds, and the zero-clamp Frobenius
-//     error is compared with the ε-clamp of Sorooshyari–Daut;
+//     matrix, the envelope mean/variance relations of Eq. (14)–(15), and a
+//     Kolmogorov–Smirnov test of the Rayleigh envelope distribution;
+//   - E6: behaviour on an indefinite covariance matrix — the Cholesky
+//     baseline must abort, the proposed zero-clamp forcing must succeed with
+//     a Frobenius error no worse than the ε-clamp of Sorooshyari–Daut;
 //   - E7: the Doppler variance-changing effect — real-time covariance error
-//     with the Eq. (19) correction versus the unit-variance assumption;
+//     with the Eq. (19) correction must be small, while the unit-variance
+//     assumption of [6] must leave a demonstrably large error;
 //   - E8: per-envelope autocorrelation of the real-time output versus
 //     J0(2π·fm·d).
+//
+// The process exits non-zero when any gate fails, so the command doubles as
+// a release check. Tolerances are calibrated for the default -draws/-blocks;
+// lowering them may fail gates purely from estimation noise.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
-	"math"
+	"os"
 
-	"repro/internal/baseline"
-	"repro/internal/cmplxmat"
-	"repro/internal/core"
-	"repro/internal/doppler"
-	"repro/internal/stats"
+	"repro/internal/scenario"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("validate: ")
-
 	var (
 		seed   = flag.Int64("seed", 1, "random seed")
 		draws  = flag.Int("draws", 200000, "snapshot draws for the covariance/moment checks")
@@ -36,151 +36,89 @@ func main() {
 	)
 	flag.Parse()
 
-	eq22 := cmplxmat.MustFromRows([][]complex128{
-		{1, 0.3782 + 0.4753i, 0.0878 + 0.2207i},
-		{0.3782 - 0.4753i, 1, 0.3063 + 0.3849i},
-		{0.0878 - 0.2207i, 0.3063 - 0.3849i, 1},
-	})
-
-	validateSnapshotStatistics(eq22, *draws, *seed)
-	validateNonPSDHandling()
-	validateDopplerVarianceEffect(eq22, *blocks, *seed)
-	validateDopplerAutocorrelation(*blocks, *seed)
+	specs := experimentSpecs(*seed, *draws, *blocks)
+	results := make([]*scenario.Result, 0, len(specs))
+	for _, s := range specs {
+		res, err := scenario.Run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %v\n", err)
+			os.Exit(2)
+		}
+		results = append(results, res)
+	}
+	report := scenario.NewReport(results)
+	fmt.Print(report.Markdown())
+	if !report.AllPassed() {
+		fmt.Fprintf(os.Stderr, "validate: %d of %d experiments FAILED\n", report.Failed, report.Total)
+		os.Exit(1)
+	}
 }
 
-func validateSnapshotStatistics(k *cmplxmat.Matrix, draws int, seed int64) {
-	fmt.Println("== E5/E9: snapshot statistics (Section 4.5, Eq. 14-15) ==")
-	gen, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: k, Seed: seed})
-	if err != nil {
-		log.Fatal(err)
-	}
-	samples := make([][]complex128, draws)
-	env := make([]float64, draws)
-	for i := range samples {
-		s := gen.Generate()
-		samples[i] = s.Gaussian
-		env[i] = s.Envelopes[0]
-	}
-	cov, err := stats.SampleCovariance(samples)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cmp, err := stats.CompareCovariance(cov, k)
-	if err != nil {
-		log.Fatal(err)
-	}
-	mean, _ := stats.Mean(env)
-	variance, _ := stats.Variance(env)
-	wantMean, _ := core.ExpectedEnvelopeMean(1)
-	wantVar, _ := core.GaussianPowerToEnvelopeVariance(1)
-	dist, _ := stats.FitRayleigh(env)
-	ks, pval, err := stats.KolmogorovSmirnovRayleigh(env, dist)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("draws: %d\n", draws)
-	fmt.Printf("sample covariance vs Eq.(22): max |err| = %.4f, relative Frobenius = %.4f\n", cmp.MaxAbs, cmp.Relative)
-	fmt.Printf("envelope mean:     %.4f   (Eq. 14 predicts %.4f, rel err %.2f%%)\n", mean, wantMean, 100*math.Abs(mean-wantMean)/wantMean)
-	fmt.Printf("envelope variance: %.4f   (Eq. 15 predicts %.4f, rel err %.2f%%)\n", variance, wantVar, 100*math.Abs(variance-wantVar)/wantVar)
-	fmt.Printf("Rayleigh KS statistic: %.4f (p-value %.3f)\n\n", ks, pval)
-}
-
-func validateNonPSDHandling() {
-	fmt.Println("== E6: indefinite covariance handling (Sections 4.2-4.3) ==")
-	indefinite := cmplxmat.MustFromRows([][]complex128{
+// experimentSpecs builds the E5–E9 experiments as scenario specs.
+func experimentSpecs(seed int64, draws, blocks int) []*scenario.Spec {
+	// The indefinite matrix of E6: pairwise correlations no valid covariance
+	// can satisfy simultaneously.
+	indefinite := [][]scenario.Complex{
 		{1, 0.9, -0.9},
 		{0.9, 1, 0.9},
 		{-0.9, 0.9, 1},
-	})
-	chol := &baseline.CholeskyColoring{}
-	if err := chol.Setup(indefinite); err != nil {
-		fmt.Printf("Cholesky baseline (Beaulieu-Merani/Natarajan style): FAILS as expected: %v\n", err)
-	} else {
-		fmt.Println("Cholesky baseline unexpectedly succeeded")
 	}
-	forced, err := core.ForcePSD(indefinite)
-	if err != nil {
-		log.Fatal(err)
+	return []*scenario.Spec{
+		{
+			Name:        "E5-E9-snapshot-statistics",
+			Description: "Snapshot statistics against Eq. (22) and the moment relations Eq. (14)-(15) (Section 4.5).",
+			Seed:        seed,
+			Model:       scenario.ModelSpec{Type: scenario.ModelEq22},
+			Generation:  scenario.GenerationSpec{Mode: scenario.ModeSnapshot, Draws: draws},
+			Assertions: []scenario.AssertionSpec{
+				{Type: scenario.AssertCovariance, MaxAbsError: 0.02, MaxRelFrobenius: 0.02},
+				{Type: scenario.AssertEnvelopeMoments, MeanTolerance: 0.01, VarianceTolerance: 0.02},
+				{Type: scenario.AssertRayleighKS, MinPValue: 0.01},
+			},
+		},
+		{
+			Name:        "E6-indefinite-covariance",
+			Description: "Indefinite covariance handling (Sections 4.2-4.3): Cholesky aborts, zero-clamp forcing succeeds and beats the eps-clamp baseline.",
+			Seed:        seed + 1,
+			Model:       scenario.ModelSpec{Type: scenario.ModelExplicit, Covariance: indefinite},
+			Generation:  scenario.GenerationSpec{Mode: scenario.ModeSnapshot, Draws: min(draws, 20000)},
+			Assertions: []scenario.AssertionSpec{
+				{Type: scenario.AssertPSDForcing, MinClamped: 1, ExpectCholeskyFailure: true, BeatsEpsilonClamp: true},
+				{Type: scenario.AssertCovariance, Against: "forced", MaxAbsError: 0.05},
+			},
+		},
+		{
+			Name:        "E7-doppler-variance-corrected",
+			Description: "Real-time covariance with the Eq. (19) Doppler-gain correction (Section 5): the error stays small.",
+			Seed:        seed + 2,
+			Model:       scenario.ModelSpec{Type: scenario.ModelEq22},
+			Generation: scenario.GenerationSpec{Mode: scenario.ModeRealtime, Blocks: blocks,
+				IDFTPoints: 1024, NormalizedDoppler: 0.05, InputVariance: 0.5},
+			Assertions: []scenario.AssertionSpec{
+				{Type: scenario.AssertCovariance, MaxAbsError: 0.12},
+			},
+		},
+		{
+			Name:        "E7-doppler-unit-variance-defect",
+			Description: "The same run under the unit-variance assumption of [6]: the covariance error must be demonstrably large.",
+			Seed:        seed + 2,
+			Model:       scenario.ModelSpec{Type: scenario.ModelEq22},
+			Generation: scenario.GenerationSpec{Mode: scenario.ModeRealtime, Blocks: blocks,
+				IDFTPoints: 1024, NormalizedDoppler: 0.05, InputVariance: 0.5, AssumeUnitVariance: true},
+			Assertions: []scenario.AssertionSpec{
+				{Type: scenario.AssertCovarianceDefect, MinAbsError: 0.2},
+			},
+		},
+		{
+			Name:        "E8-doppler-autocorrelation",
+			Description: "Per-envelope autocorrelation of the real-time output versus J0(2*pi*fm*d) (Eq. (16)-(20)).",
+			Seed:        seed + 3,
+			Model:       scenario.ModelSpec{Type: scenario.ModelIdentity, N: 1},
+			Generation: scenario.GenerationSpec{Mode: scenario.ModeRealtime, Blocks: blocks,
+				IDFTPoints: 4096, NormalizedDoppler: 0.05, InputVariance: 0.5},
+			Assertions: []scenario.AssertionSpec{
+				{Type: scenario.AssertAutocorrelation, MaxLag: 100, Tolerance: 0.15},
+			},
+		},
 	}
-	eps := &baseline.EpsilonEigen{}
-	if err := eps.Setup(indefinite); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("proposed zero-clamp: clamped %d eigenvalue(s), Frobenius error %.4f\n", forced.NumClamped, forced.FrobeniusError)
-	fmt.Printf("baseline eps-clamp (eps=%.0e): Frobenius error %.4f\n", baseline.DefaultEpsilon, eps.ApproximationError())
-	fmt.Printf("proposed error <= baseline error: %v\n\n", forced.FrobeniusError <= eps.ApproximationError()+1e-12)
-}
-
-func validateDopplerVarianceEffect(k *cmplxmat.Matrix, blocks int, seed int64) {
-	fmt.Println("== E7: Doppler variance-changing effect (Section 5) ==")
-	spec := doppler.FilterSpec{M: 1024, NormalizedDoppler: 0.05}
-	run := func(assumeUnit bool) (float64, float64) {
-		gen, err := core.NewRealTimeGenerator(core.RealTimeConfig{
-			Covariance: k, Filter: spec, InputVariance: 0.5, Seed: seed, AssumeUnitVariance: assumeUnit,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		series := make([][]complex128, k.Rows())
-		for b := 0; b < blocks; b++ {
-			blk := gen.GenerateBlock()
-			for j := range series {
-				series[j] = append(series[j], blk.Gaussian[j]...)
-			}
-		}
-		cov, err := stats.SampleCovarianceFromSeries(series)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cmp, err := stats.CompareCovariance(cov, k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return cmp.MaxAbs, gen.SampleVariance()
-	}
-	errProposed, sigmaG2 := run(false)
-	errAssumed, _ := run(true)
-	fmt.Printf("Doppler filter output variance sigma_g^2 (Eq. 19): %.4f (far from the unit value assumed by [6])\n", sigmaG2)
-	fmt.Printf("covariance error with Eq. 19 correction (proposed): max |err| = %.4f\n", errProposed)
-	fmt.Printf("covariance error with unit-variance assumption [6]: max |err| = %.4f\n", errAssumed)
-	fmt.Printf("proposed wins: %v\n\n", errProposed < errAssumed)
-}
-
-func validateDopplerAutocorrelation(blocks int, seed int64) {
-	fmt.Println("== E8: per-envelope autocorrelation vs J0 (Eq. 16-20) ==")
-	spec := doppler.FilterSpec{M: 4096, NormalizedDoppler: 0.05}
-	gen, err := core.NewRealTimeGenerator(core.RealTimeConfig{
-		Covariance: cmplxmat.Identity(1), Filter: spec, InputVariance: 0.5, Seed: seed,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	const maxLag = 100
-	acc := make([]float64, maxLag+1)
-	for b := 0; b < blocks; b++ {
-		blk := gen.GenerateBlock()
-		rho, err := stats.LaggedAutocorrelation(blk.Gaussian[0], maxLag)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for d := range acc {
-			acc[d] += rho[d]
-		}
-	}
-	var worst float64
-	fmt.Printf("%6s %12s %12s\n", "lag", "measured", "J0(2*pi*fm*d)")
-	for d := 0; d <= maxLag; d += 10 {
-		got := acc[d] / float64(blocks)
-		want := doppler.TheoreticalAutocorrelation(spec.NormalizedDoppler, d)
-		fmt.Printf("%6d %12.4f %12.4f\n", d, got, want)
-	}
-	for d := 0; d <= maxLag; d++ {
-		got := acc[d] / float64(blocks)
-		want := doppler.TheoreticalAutocorrelation(spec.NormalizedDoppler, d)
-		if dev := math.Abs(got - want); dev > worst {
-			worst = dev
-		}
-	}
-	fmt.Printf("worst deviation over lags 0..%d: %.4f\n", maxLag, worst)
 }

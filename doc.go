@@ -56,4 +56,14 @@
 // Measured throughput and allocation figures live in BENCH_core.json at the
 // repository root (regenerate with "go run ./cmd/benchreport"); the
 // methodology and fixed seeds are documented in docs/benchmarking.md.
+//
+// # Scenarios
+//
+// Statistical correctness is guarded by a declarative scenario harness:
+// JSON specs in scenarios/ name a correlation model, a generation mode, a
+// fixed seed and a list of assertions with explicit tolerances, and the
+// engine in internal/scenario evaluates every assertion as a pass/fail
+// release gate ("go run ./cmd/scenariorun -all"; CI runs the full corpus on
+// every pull request). The spec schema and assertion catalog are documented
+// in docs/scenarios.md.
 package rayleigh

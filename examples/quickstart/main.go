@@ -4,18 +4,30 @@
 // Run with:
 //
 //	go run ./examples/quickstart
+//
+// The program doubles as a smoke check: it exits non-zero when the measured
+// statistics deviate from the paper's relations, and CI runs it on every
+// pull request (with a reduced -draws) so the public API in this example can
+// never silently rot.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
+	"math/cmplx"
 
 	rayleigh "repro"
 )
 
 func main() {
 	log.SetFlags(0)
+	draws := flag.Int("draws", 100000, "snapshots averaged for the statistical checks")
+	flag.Parse()
+	if *draws < 1000 {
+		log.Fatalf("need at least 1000 draws for meaningful statistics, got %d", *draws)
+	}
 
 	// Desired covariance matrix of the underlying complex Gaussian processes.
 	// It is the paper's Eq. (22) example: three envelopes observed at
@@ -38,26 +50,40 @@ func main() {
 		fmt.Printf("  #%d: r1=%.3f  r2=%.3f  r3=%.3f\n", i+1, s.Envelopes[0], s.Envelopes[1], s.Envelopes[2])
 	}
 
-	// Verify the envelope statistics against the paper's Eq. (14)-(15) by
-	// averaging over many independent snapshots.
-	const draws = 100000
-	var sum, sumSq float64
-	for i := 0; i < draws; i++ {
-		r := gen.Snapshot().Envelopes[0]
+	// Verify the envelope statistics against the paper's Eq. (14)-(15), and
+	// the cross-correlation of the first Gaussian pair against the requested
+	// covariance, by averaging over many independent snapshots.
+	var sum, sumSq, p0, p1 float64
+	var cross complex128
+	for i := 0; i < *draws; i++ {
+		s := gen.Snapshot()
+		r := s.Envelopes[0]
 		sum += r
 		sumSq += r * r
+		z0, z1 := s.Gaussian[0], s.Gaussian[1]
+		cross += z0 * cmplx.Conj(z1)
+		p0 += real(z0)*real(z0) + imag(z0)*imag(z0)
+		p1 += real(z1)*real(z1) + imag(z1)*imag(z1)
 	}
-	mean := sum / draws
-	variance := sumSq/draws - mean*mean
+	n := float64(*draws)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	rho01 := cross / complex(math.Sqrt(p0*p1), 0)
 	wantMean, _ := rayleigh.ExpectedEnvelopeMean(1)
 	wantVar, _ := rayleigh.GaussianPowerToEnvelopeVariance(1)
+	wantRho := covariance[0][1]
 
-	fmt.Printf("\nEnvelope statistics over %d snapshots (unit Gaussian power):\n", draws)
-	fmt.Printf("  mean     = %.4f   (Eq. 14 predicts %.4f)\n", mean, wantMean)
-	fmt.Printf("  variance = %.4f   (Eq. 15 predicts %.4f)\n", variance, wantVar)
+	fmt.Printf("\nStatistics over %d snapshots (unit Gaussian power):\n", *draws)
+	fmt.Printf("  envelope mean      = %.4f   (Eq. 14 predicts %.4f)\n", mean, wantMean)
+	fmt.Printf("  envelope variance  = %.4f   (Eq. 15 predicts %.4f)\n", variance, wantVar)
+	fmt.Printf("  corr(z1, z2)       = %.4f%+.4fi   (requested %.4f%+.4fi)\n",
+		real(rho01), imag(rho01), real(wantRho), imag(wantRho))
 
 	if math.Abs(mean-wantMean) > 0.02 || math.Abs(variance-wantVar) > 0.02 {
 		log.Fatal("envelope statistics deviate from the Rayleigh relations")
 	}
-	fmt.Println("\nStatistics match the Rayleigh relations of the paper.")
+	if cmplx.Abs(rho01-wantRho) > 0.03 {
+		log.Fatal("cross-correlation deviates from the requested covariance")
+	}
+	fmt.Println("\nStatistics match the paper's relations.")
 }

@@ -1,0 +1,358 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/cmplxmat"
+	"repro/internal/core"
+	"repro/internal/doppler"
+	"repro/internal/stats"
+)
+
+// evaluate dispatches one assertion against the collected run data.
+func evaluate(a *AssertionSpec, data *runData) (GateResult, error) {
+	var (
+		checks []Check
+		err    error
+	)
+	switch a.Type {
+	case AssertCovariance:
+		checks, err = evalCovariance(a, data)
+	case AssertCovarianceDefect:
+		checks, err = evalCovarianceDefect(a, data)
+	case AssertEnvelopeMoments:
+		checks, err = evalEnvelopeMoments(a, data)
+	case AssertRayleighKS:
+		checks, err = evalRayleighKS(a, data)
+	case AssertRayleighChiSquare:
+		checks, err = evalRayleighChiSquare(a, data)
+	case AssertAutocorrelation:
+		checks, err = evalAutocorrelation(a, data)
+	case AssertPSDForcing:
+		checks, err = evalPSDForcing(a, data)
+	case AssertIntoIdentity:
+		checks, err = evalIntoIdentity(a, data)
+	case AssertParallelIdentity:
+		checks, err = evalParallelIdentity(a, data)
+	default:
+		err = fmt.Errorf("unknown assertion type %q: %w", a.Type, ErrBadSpec)
+	}
+	if err != nil {
+		return GateResult{}, err
+	}
+	gate := GateResult{Type: a.Type, Passed: true, Checks: checks}
+	for _, c := range checks {
+		if !c.Passed {
+			gate.Passed = false
+		}
+	}
+	return gate, nil
+}
+
+// covarianceTarget resolves the Against selector.
+func covarianceTarget(a *AssertionSpec, data *runData) *cmplxmat.Matrix {
+	if a.Against == "forced" {
+		return data.forced.Forced
+	}
+	return data.target
+}
+
+func evalCovariance(a *AssertionSpec, data *runData) ([]Check, error) {
+	cmp, err := stats.CompareCovariance(data.cov, covarianceTarget(a, data))
+	if err != nil {
+		return nil, err
+	}
+	var checks []Check
+	if a.MaxAbsError > 0 {
+		checks = append(checks, check("max abs error", cmp.MaxAbs, a.MaxAbsError, "<="))
+	}
+	if a.MaxRelFrobenius > 0 {
+		checks = append(checks, check("relative Frobenius", cmp.Relative, a.MaxRelFrobenius, "<="))
+	}
+	return checks, nil
+}
+
+func evalCovarianceDefect(a *AssertionSpec, data *runData) ([]Check, error) {
+	cmp, err := stats.CompareCovariance(data.cov, covarianceTarget(a, data))
+	if err != nil {
+		return nil, err
+	}
+	return []Check{check("max abs error", cmp.MaxAbs, a.MinAbsError, ">=")}, nil
+}
+
+// envelopePower returns the Gaussian power feeding envelope j: the diagonal
+// of the forced covariance, which is what the generator actually colors to.
+func envelopePower(data *runData, j int) float64 {
+	return real(data.forced.Forced.At(j, j))
+}
+
+func evalEnvelopeMoments(a *AssertionSpec, data *runData) ([]Check, error) {
+	env := data.env[a.Envelope]
+	mean, err := stats.Mean(env)
+	if err != nil {
+		return nil, err
+	}
+	variance, err := stats.Variance(env)
+	if err != nil {
+		return nil, err
+	}
+	power := envelopePower(data, a.Envelope)
+	wantMean, err := core.ExpectedEnvelopeMean(power)
+	if err != nil {
+		return nil, err
+	}
+	wantVar, err := core.GaussianPowerToEnvelopeVariance(power)
+	if err != nil {
+		return nil, err
+	}
+	var checks []Check
+	if a.MeanTolerance > 0 {
+		checks = append(checks, check("relative mean error (Eq. 14)",
+			math.Abs(mean-wantMean)/wantMean, a.MeanTolerance, "<="))
+	}
+	if a.VarianceTolerance > 0 {
+		checks = append(checks, check("relative variance error (Eq. 15)",
+			math.Abs(variance-wantVar)/wantVar, a.VarianceTolerance, "<="))
+	}
+	return checks, nil
+}
+
+// envelopeDist is the theoretical Rayleigh distribution of envelope j.
+func envelopeDist(data *runData, j int) (stats.RayleighDist, error) {
+	return stats.NewRayleighFromGaussianPower(envelopePower(data, j))
+}
+
+func evalRayleighKS(a *AssertionSpec, data *runData) ([]Check, error) {
+	dist, err := envelopeDist(data, a.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	_, pval, err := stats.KolmogorovSmirnovRayleigh(data.env[a.Envelope], dist)
+	if err != nil {
+		return nil, err
+	}
+	return []Check{check("KS p-value", pval, a.MinPValue, ">=")}, nil
+}
+
+func evalRayleighChiSquare(a *AssertionSpec, data *runData) ([]Check, error) {
+	dist, err := envelopeDist(data, a.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	bins := a.Bins
+	if bins == 0 {
+		bins = 20
+	}
+	res, err := stats.ChiSquareRayleigh(data.env[a.Envelope], dist, bins, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []Check{check("chi-square p-value", res.PValue, a.MinPValue, ">=")}, nil
+}
+
+func evalAutocorrelation(a *AssertionSpec, data *runData) ([]Check, error) {
+	acf := data.acf[a.Envelope]
+	maxLag := assertMaxLag(a)
+	var worst float64
+	for d := 0; d <= maxLag; d++ {
+		want := doppler.TheoreticalAutocorrelation(data.fm, d)
+		if dev := math.Abs(acf[d] - want); dev > worst {
+			worst = dev
+		}
+	}
+	return []Check{check(fmt.Sprintf("worst acf deviation from J0 over lags 0..%d", maxLag), worst, a.Tolerance, "<=")}, nil
+}
+
+func evalPSDForcing(a *AssertionSpec, data *runData) ([]Check, error) {
+	var checks []Check
+	clamped := float64(data.forced.NumClamped)
+	if a.MinClamped > 0 {
+		checks = append(checks, check("clamped eigenvalues", clamped, float64(a.MinClamped), ">="))
+	}
+	if a.MaxClamped != nil {
+		checks = append(checks, check("clamped eigenvalues", clamped, float64(*a.MaxClamped), "<="))
+	}
+	if a.MaxFrobeniusError > 0 {
+		checks = append(checks, check("forcing Frobenius error", data.forced.FrobeniusError, a.MaxFrobeniusError, "<="))
+	}
+	if a.ExpectCholeskyFailure {
+		failed := 0.0
+		chol := &baseline.CholeskyColoring{}
+		if err := chol.Setup(data.target); err != nil {
+			failed = 1
+		}
+		checks = append(checks, check("cholesky baseline fails", failed, 1, "=="))
+	}
+	if a.BeatsEpsilonClamp {
+		eps := &baseline.EpsilonEigen{}
+		if err := eps.Setup(data.target); err != nil {
+			return nil, err
+		}
+		checks = append(checks, check("zero-clamp error vs eps-clamp",
+			data.forced.FrobeniusError, eps.ApproximationError()+1e-12, "<="))
+	}
+	return checks, nil
+}
+
+// identityUnits caps the units of work an identity assertion regenerates.
+func identityUnits(a *AssertionSpec, available, fallback int) int {
+	units := a.Units
+	if units == 0 {
+		units = fallback
+	}
+	if units > available {
+		units = available
+	}
+	return units
+}
+
+func evalIntoIdentity(a *AssertionSpec, data *runData) ([]Check, error) {
+	spec := data.spec
+	var mismatches float64
+	switch spec.Generation.Mode {
+	case ModeSnapshot, ModeBatched:
+		units := identityUnits(a, spec.Generation.Draws, 256)
+		alloc, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: data.target, Seed: spec.Seed})
+		if err != nil {
+			return nil, err
+		}
+		into, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: data.target, Seed: spec.Seed})
+		if err != nil {
+			return nil, err
+		}
+		n := data.target.Rows()
+		gaussian := make([]complex128, n)
+		env := make([]float64, n)
+		for i := 0; i < units; i++ {
+			s := alloc.Generate()
+			if err := into.GenerateInto(gaussian, env); err != nil {
+				return nil, err
+			}
+			for j := 0; j < n; j++ {
+				if s.Gaussian[j] != gaussian[j] || s.Envelopes[j] != env[j] {
+					mismatches++
+				}
+			}
+		}
+	case ModeRealtime:
+		units := identityUnits(a, spec.Generation.Blocks, 2)
+		alloc, err := newRealtimeGenerator(spec, data.target)
+		if err != nil {
+			return nil, err
+		}
+		into, err := newRealtimeGenerator(spec, data.target)
+		if err != nil {
+			return nil, err
+		}
+		dst := core.NewBlock(alloc.N(), alloc.BlockLength())
+		for i := 0; i < units; i++ {
+			b := alloc.GenerateBlock()
+			if err := into.GenerateBlockInto(dst); err != nil {
+				return nil, err
+			}
+			mismatches += blockMismatches(b, dst)
+		}
+	}
+	return []Check{check("allocating vs Into mismatched values", mismatches, 0, "==")}, nil
+}
+
+func evalParallelIdentity(a *AssertionSpec, data *runData) ([]Check, error) {
+	spec := data.spec
+	workers := a.Workers
+	if workers == 0 {
+		workers = 4
+	}
+	var mismatches float64
+	switch spec.Generation.Mode {
+	case ModeBatched:
+		units := identityUnits(a, spec.Generation.Draws, 1024)
+		serial, parallel, err := batchPair(data, units, 1, workers)
+		if err != nil {
+			return nil, err
+		}
+		for i := range serial {
+			for j := range serial[i].Gaussian {
+				if serial[i].Gaussian[j] != parallel[i].Gaussian[j] ||
+					serial[i].Envelopes[j] != parallel[i].Envelopes[j] {
+					mismatches++
+				}
+			}
+		}
+	case ModeRealtime:
+		units := identityUnits(a, spec.Generation.Blocks, 2)
+		serial, parallel, err := blockPair(data, units, 1, workers)
+		if err != nil {
+			return nil, err
+		}
+		for i := range serial {
+			mismatches += blockMismatches(serial[i], parallel[i])
+		}
+	default:
+		return nil, fmt.Errorf("parallel_identity unsupported in %s mode: %w", spec.Generation.Mode, ErrBadSpec)
+	}
+	return []Check{check(fmt.Sprintf("serial vs %d-worker mismatched values", workers), mismatches, 0, "==")}, nil
+}
+
+// batchPair regenerates units snapshots twice from the spec seed, once per
+// worker count.
+func batchPair(data *runData, units, workersA, workersB int) (a, b []core.Snapshot, err error) {
+	run := func(workers int) ([]core.Snapshot, error) {
+		gen, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: data.target, Seed: data.spec.Seed})
+		if err != nil {
+			return nil, err
+		}
+		dst := make([]core.Snapshot, units)
+		if err := gen.GenerateBatchInto(dst, workers); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	}
+	if a, err = run(workersA); err != nil {
+		return nil, nil, err
+	}
+	if b, err = run(workersB); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// blockPair regenerates units realtime blocks twice from the spec seed, once
+// per worker count.
+func blockPair(data *runData, units, workersA, workersB int) (a, b []*core.Block, err error) {
+	run := func(workers int) ([]*core.Block, error) {
+		gen, err := newRealtimeGenerator(data.spec, data.target)
+		if err != nil {
+			return nil, err
+		}
+		dst := make([]*core.Block, units)
+		for i := range dst {
+			dst[i] = core.NewBlock(gen.N(), gen.BlockLength())
+		}
+		if err := gen.GenerateBlocksInto(dst, workers); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	}
+	if a, err = run(workersA); err != nil {
+		return nil, nil, err
+	}
+	if b, err = run(workersB); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// blockMismatches counts value positions where two blocks differ bitwise.
+func blockMismatches(a, b *core.Block) float64 {
+	var mismatches float64
+	for j := range a.Gaussian {
+		for l := range a.Gaussian[j] {
+			if a.Gaussian[j][l] != b.Gaussian[j][l] || a.Envelopes[j][l] != b.Envelopes[j][l] {
+				mismatches++
+			}
+		}
+	}
+	return mismatches
+}

@@ -1,0 +1,311 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/core"
+	"repro/internal/doppler"
+	"repro/internal/stats"
+)
+
+// Result is the outcome of running one scenario: the forcing diagnostics and
+// one GateResult per assertion, in spec order. It contains no timestamps or
+// durations, so rerunning a spec with the same seed yields byte-identical
+// artifacts.
+type Result struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Seed        int64  `json:"seed"`
+	Mode        string `json:"mode"`
+	// N is the envelope count, Samples the total number of generated
+	// envelope vectors (draws, or blocks × block length).
+	N       int `json:"n"`
+	Samples int `json:"samples"`
+	// ClampedEigenvalues and ForcingError summarize the positive
+	// semi-definiteness forcing applied to the covariance target.
+	ClampedEigenvalues int          `json:"clamped_eigenvalues"`
+	ForcingError       float64      `json:"forcing_frobenius_error"`
+	Gates              []GateResult `json:"gates"`
+	Passed             bool         `json:"passed"`
+}
+
+// GateResult is the outcome of one assertion.
+type GateResult struct {
+	Type   string  `json:"type"`
+	Passed bool    `json:"passed"`
+	Checks []Check `json:"checks"`
+}
+
+// Check is one scalar comparison inside a gate: Observed Op Limit.
+type Check struct {
+	Name     string  `json:"name"`
+	Observed float64 `json:"observed"`
+	Op       string  `json:"op"`
+	Limit    float64 `json:"limit"`
+	Passed   bool    `json:"passed"`
+}
+
+// check builds a Check, evaluating the comparison.
+func check(name string, observed, limit float64, op string) Check {
+	c := Check{Name: name, Observed: observed, Op: op, Limit: limit}
+	switch op {
+	case "<=":
+		c.Passed = observed <= limit
+	case ">=":
+		c.Passed = observed >= limit
+	case "==":
+		c.Passed = observed == limit
+	default:
+		c.Passed = false
+	}
+	return c
+}
+
+// runData is everything the assertion evaluators read: the covariance target
+// before and after forcing, the sample covariance, and the envelope sample /
+// autocorrelation series the spec's assertions asked for.
+type runData struct {
+	spec    *Spec
+	target  *cmplxmat.Matrix
+	forced  *core.ForcedPSD
+	cov     *cmplxmat.Matrix
+	env     map[int][]float64
+	acf     map[int][]float64 // averaged lagged autocorrelation per envelope
+	fm      float64           // normalized Doppler of the realtime run
+	samples int
+}
+
+// Run executes one scenario end to end and returns its Result. Spec errors
+// (unknown types, impossible sizes, envelope indices out of range) surface as
+// an error; statistical violations surface as failed gates in the Result.
+func Run(spec *Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	target, err := spec.Model.Build()
+	if err != nil {
+		return nil, err
+	}
+	n := target.Rows()
+	if err := checkEnvelopeIndices(spec, n); err != nil {
+		return nil, err
+	}
+	forced, err := core.ForcePSD(target)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+
+	data := &runData{
+		spec:   spec,
+		target: target,
+		forced: forced,
+		env:    map[int][]float64{},
+		acf:    map[int][]float64{},
+	}
+	switch spec.Generation.Mode {
+	case ModeSnapshot, ModeBatched:
+		err = collectSnapshots(data)
+	case ModeRealtime:
+		err = collectRealtime(data)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+
+	res := &Result{
+		Name:               spec.Name,
+		Description:        spec.Description,
+		Seed:               spec.Seed,
+		Mode:               spec.Generation.Mode,
+		N:                  n,
+		Samples:            data.samples,
+		ClampedEigenvalues: forced.NumClamped,
+		ForcingError:       forced.FrobeniusError,
+		Passed:             true,
+	}
+	for i := range spec.Assertions {
+		gate, err := evaluate(&spec.Assertions[i], data)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q assertion %d (%s): %w", spec.Name, i, spec.Assertions[i].Type, err)
+		}
+		res.Gates = append(res.Gates, gate)
+		if !gate.Passed {
+			res.Passed = false
+		}
+	}
+	return res, nil
+}
+
+// checkEnvelopeIndices rejects assertions naming an envelope outside [0, N).
+func checkEnvelopeIndices(spec *Spec, n int) error {
+	for i := range spec.Assertions {
+		a := &spec.Assertions[i]
+		if a.Envelope < 0 || a.Envelope >= n {
+			return fmt.Errorf("scenario %q assertion %d: envelope %d out of range for N = %d: %w",
+				spec.Name, i, a.Envelope, n, ErrBadSpec)
+		}
+	}
+	return nil
+}
+
+// neededEnvelopes returns the envelope indices whose sample series the
+// assertions read, in ascending order.
+func neededEnvelopes(spec *Spec, types ...string) []int {
+	want := map[string]bool{}
+	for _, t := range types {
+		want[t] = true
+	}
+	seen := map[int]bool{}
+	var out []int
+	for i := range spec.Assertions {
+		a := &spec.Assertions[i]
+		if want[a.Type] && !seen[a.Envelope] {
+			seen[a.Envelope] = true
+			out = append(out, a.Envelope)
+		}
+	}
+	return out
+}
+
+// collectSnapshots runs the snapshot or batched mode and fills the sample
+// covariance and envelope series of data.
+func collectSnapshots(data *runData) error {
+	spec := data.spec
+	draws := spec.Generation.Draws
+	gen, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: data.target, Seed: spec.Seed})
+	if err != nil {
+		return err
+	}
+	envIdx := neededEnvelopes(spec, AssertEnvelopeMoments, AssertRayleighKS, AssertRayleighChiSquare)
+	for _, j := range envIdx {
+		data.env[j] = make([]float64, 0, draws)
+	}
+
+	samples := make([][]complex128, draws)
+	switch spec.Generation.Mode {
+	case ModeSnapshot:
+		for i := range samples {
+			s := gen.Generate()
+			samples[i] = s.Gaussian
+			for _, j := range envIdx {
+				data.env[j] = append(data.env[j], s.Envelopes[j])
+			}
+		}
+	case ModeBatched:
+		batch := make([]core.Snapshot, draws)
+		if err := gen.GenerateBatchInto(batch, spec.Generation.Workers); err != nil {
+			return err
+		}
+		for i := range batch {
+			samples[i] = batch[i].Gaussian
+			for _, j := range envIdx {
+				data.env[j] = append(data.env[j], batch[i].Envelopes[j])
+			}
+		}
+	}
+	data.samples = draws
+	data.cov, err = stats.SampleCovariance(samples)
+	return err
+}
+
+// collectRealtime runs the realtime mode: consecutive blocks feed the sample
+// covariance, the envelope series, and the per-envelope lagged
+// autocorrelation averaged over blocks.
+func collectRealtime(data *runData) error {
+	spec := data.spec
+	gen, err := newRealtimeGenerator(data.spec, data.target)
+	if err != nil {
+		return err
+	}
+	data.fm = realtimeDoppler(spec)
+	blocks := spec.Generation.Blocks
+	envIdx := neededEnvelopes(spec, AssertEnvelopeMoments, AssertRayleighKS, AssertRayleighChiSquare)
+	acfIdx := neededEnvelopes(spec, AssertAutocorrelation)
+	maxLag := 0
+	for i := range spec.Assertions {
+		a := &spec.Assertions[i]
+		if a.Type == AssertAutocorrelation && assertMaxLag(a) > maxLag {
+			maxLag = assertMaxLag(a)
+		}
+	}
+
+	n := data.target.Rows()
+	blks := make([]*core.Block, blocks)
+	if workers := spec.Generation.Workers; workers > 1 {
+		// Parallel block generation: bit-identical for every worker count,
+		// but on per-block streams distinct from the sequential
+		// GenerateBlock path (toggling workers across the 1/2 boundary
+		// changes the sample values, never their statistics).
+		for i := range blks {
+			blks[i] = core.NewBlock(n, gen.BlockLength())
+		}
+		if err := gen.GenerateBlocksInto(blks, workers); err != nil {
+			return err
+		}
+	} else {
+		for b := range blks {
+			blks[b] = gen.GenerateBlock()
+		}
+	}
+	series := make([][]complex128, n)
+	for _, blk := range blks {
+		for j := 0; j < n; j++ {
+			series[j] = append(series[j], blk.Gaussian[j]...)
+		}
+		for _, j := range envIdx {
+			data.env[j] = append(data.env[j], blk.Envelopes[j]...)
+		}
+		for _, j := range acfIdx {
+			rho, err := stats.LaggedAutocorrelation(blk.Gaussian[j], maxLag)
+			if err != nil {
+				return err
+			}
+			if data.acf[j] == nil {
+				data.acf[j] = make([]float64, maxLag+1)
+			}
+			for d := range rho {
+				data.acf[j][d] += rho[d]
+			}
+		}
+	}
+	for _, j := range acfIdx {
+		for d := range data.acf[j] {
+			data.acf[j][d] /= float64(blocks)
+		}
+	}
+	data.samples = blocks * gen.BlockLength()
+	data.cov, err = stats.SampleCovarianceFromSeries(series)
+	return err
+}
+
+// newRealtimeGenerator builds the realtime generator a spec describes.
+func newRealtimeGenerator(spec *Spec, target *cmplxmat.Matrix) (*core.RealTimeGenerator, error) {
+	m := spec.Generation.IDFTPoints
+	if m == 0 {
+		m = 4096
+	}
+	return core.NewRealTimeGenerator(core.RealTimeConfig{
+		Covariance:         target,
+		Filter:             doppler.FilterSpec{M: m, NormalizedDoppler: realtimeDoppler(spec)},
+		InputVariance:      spec.Generation.InputVariance,
+		Seed:               spec.Seed,
+		AssumeUnitVariance: spec.Generation.AssumeUnitVariance,
+	})
+}
+
+// realtimeDoppler returns the normalized Doppler in effect (default 0.05).
+func realtimeDoppler(spec *Spec) float64 {
+	if spec.Generation.NormalizedDoppler != 0 {
+		return spec.Generation.NormalizedDoppler
+	}
+	return 0.05
+}
+
+// assertMaxLag returns the autocorrelation lag bound in effect (default 100).
+func assertMaxLag(a *AssertionSpec) int {
+	if a.MaxLag > 0 {
+		return a.MaxLag
+	}
+	return 100
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Report aggregates the results of one harness run. It deliberately carries
+// no timestamps, host names or durations: the same specs with the same seeds
+// must produce byte-identical artifacts, which is what lets CI diff them.
+type Report struct {
+	Total   int       `json:"total"`
+	Passed  int       `json:"passed"`
+	Failed  int       `json:"failed"`
+	Results []*Result `json:"results"`
+}
+
+// NewReport builds a Report over results (kept in the given order).
+func NewReport(results []*Result) *Report {
+	r := &Report{Total: len(results), Results: results}
+	for _, res := range results {
+		if res.Passed {
+			r.Passed++
+		} else {
+			r.Failed++
+		}
+	}
+	return r
+}
+
+// AllPassed reports whether every scenario passed every gate.
+func (r *Report) AllPassed() bool { return r.Failed == 0 }
+
+// JSON renders the report as indented JSON, newline-terminated.
+func (r *Report) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: marshal report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Markdown renders the report as a markdown document: a summary line, then
+// one section per scenario with a gate table.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# Scenario gate report\n\n")
+	fmt.Fprintf(&b, "**%d/%d scenarios passed**", r.Passed, r.Total)
+	if r.Failed > 0 {
+		fmt.Fprintf(&b, " — %d FAILED", r.Failed)
+	}
+	b.WriteString("\n")
+	for _, res := range r.Results {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "## %s — %s\n\n", res.Name, passFail(res.Passed))
+		if res.Description != "" {
+			fmt.Fprintf(&b, "%s\n\n", res.Description)
+		}
+		fmt.Fprintf(&b, "mode `%s`, N = %d, %d samples, seed %d", res.Mode, res.N, res.Samples, res.Seed)
+		if res.ClampedEigenvalues > 0 {
+			fmt.Fprintf(&b, ", %d eigenvalue(s) clamped (Frobenius error %.4g)",
+				res.ClampedEigenvalues, res.ForcingError)
+		}
+		b.WriteString("\n\n")
+		b.WriteString("| gate | check | observed | limit | status |\n")
+		b.WriteString("|---|---|---|---|---|\n")
+		for _, g := range res.Gates {
+			for _, c := range g.Checks {
+				fmt.Fprintf(&b, "| %s | %s | %.6g | %s %.6g | %s |\n",
+					g.Type, c.Name, c.Observed, c.Op, c.Limit, passFail(c.Passed))
+			}
+		}
+	}
+	return b.String()
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

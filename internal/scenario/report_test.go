@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleResults() []*Result {
+	return []*Result{
+		{
+			Name: "alpha", Seed: 1, Mode: ModeSnapshot, N: 3, Samples: 100, Passed: true,
+			Gates: []GateResult{{Type: AssertCovariance, Passed: true,
+				Checks: []Check{check("max abs error", 0.01, 0.05, "<=")}}},
+		},
+		{
+			Name: "beta", Seed: 2, Mode: ModeRealtime, N: 1, Samples: 200, Passed: false,
+			ClampedEigenvalues: 1, ForcingError: 0.8,
+			Gates: []GateResult{{Type: AssertAutocorrelation, Passed: false,
+				Checks: []Check{check("worst acf deviation", 0.5, 0.1, "<=")}}},
+		},
+	}
+}
+
+func TestReportCountsAndMarkdown(t *testing.T) {
+	rep := NewReport(sampleResults())
+	if rep.Total != 2 || rep.Passed != 1 || rep.Failed != 1 || rep.AllPassed() {
+		t.Fatalf("counts: total=%d passed=%d failed=%d", rep.Total, rep.Passed, rep.Failed)
+	}
+	md := rep.Markdown()
+	for _, want := range []string{
+		"# Scenario gate report",
+		"**1/2 scenarios passed** — 1 FAILED",
+		"## alpha — PASS",
+		"## beta — FAIL",
+		"1 eigenvalue(s) clamped",
+		"| covariance | max abs error | 0.01 | <= 0.05 | PASS |",
+		"| autocorrelation | worst acf deviation | 0.5 | <= 0.1 | FAIL |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := NewReport(sampleResults())
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Total != rep.Total || back.Failed != rep.Failed || len(back.Results) != 2 {
+		t.Errorf("round trip lost counts: %+v", back)
+	}
+	if back.Results[1].Gates[0].Checks[0].Op != "<=" {
+		t.Errorf("round trip lost check detail: %+v", back.Results[1].Gates[0])
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("b.json", `{"name":"bravo","seed":1,"model":{"type":"eq22"},
+		"generation":{"mode":"snapshot","draws":10},"assertions":[{"type":"into_identity"}]}`)
+	write("a.json", `{"name":"alpha","seed":1,"model":{"type":"eq22"},
+		"generation":{"mode":"snapshot","draws":10},"assertions":[{"type":"into_identity"}]}`)
+	write("notes.txt", "not a spec")
+
+	specs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(specs) != 2 || specs[0].Name != "alpha" || specs[1].Name != "bravo" {
+		t.Fatalf("LoadDir order/content wrong: %+v", specs)
+	}
+
+	// A duplicate scenario name in another file must be rejected.
+	write("dup.json", `{"name":"alpha","seed":2,"model":{"type":"eq22"},
+		"generation":{"mode":"snapshot","draws":10},"assertions":[{"type":"into_identity"}]}`)
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("duplicate scenario name accepted")
+	}
+}
+
+// TestShippedScenariosParse keeps the checked-in scenario corpus loadable:
+// every spec in scenarios/ must parse, validate, and stay ≥ 8 strong.
+func TestShippedScenariosParse(t *testing.T) {
+	specs, err := LoadDir(filepath.Join("..", "..", "scenarios"))
+	if err != nil {
+		t.Fatalf("LoadDir(scenarios): %v", err)
+	}
+	if len(specs) < 8 {
+		t.Errorf("shipped scenarios = %d, want >= 8", len(specs))
+	}
+	modes := map[string]bool{}
+	for _, s := range specs {
+		modes[s.Generation.Mode] = true
+	}
+	for _, mode := range []string{ModeSnapshot, ModeBatched, ModeRealtime} {
+		if !modes[mode] {
+			t.Errorf("no shipped scenario uses %s mode", mode)
+		}
+	}
+}

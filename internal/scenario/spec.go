@@ -1,0 +1,400 @@
+// Package scenario is the declarative workload harness of this repository:
+// a scenario spec names a correlation model, a generation mode, sizes, a
+// fixed seed, and a list of statistical assertions with explicit tolerances.
+// The engine (Run) generates the requested fading samples, evaluates every
+// assertion as a pass/fail gate, and reports the outcome as JSON and
+// markdown artifacts. Specs are plain JSON files checked into scenarios/ at
+// the repository root, so adding a workload — a new OFDM spacing, a MIMO
+// array, an indefinite-covariance stress case — means writing a spec, not
+// Go code. cmd/scenariorun drives the specs from the command line and CI;
+// cmd/validate expresses the paper's E5–E9 experiments as specs and runs
+// them through the same engine.
+//
+// Everything is deterministic: a spec carries its own seed, the engine
+// derives every stream from it, and the report contains no timestamps, so
+// the same spec always produces byte-identical artifacts.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrBadSpec reports an invalid scenario specification.
+var ErrBadSpec = errors.New("scenario: invalid spec")
+
+// Generation modes.
+const (
+	// ModeSnapshot draws independent snapshots one by one through the
+	// sequential Generate path (Section 4.4 of the paper).
+	ModeSnapshot = "snapshot"
+	// ModeBatched draws independent snapshots through the zero-allocation
+	// batched path (GenerateBatchInto), optionally fanned out across
+	// Generation.Workers workers.
+	ModeBatched = "batched"
+	// ModeRealtime generates blocks of time-correlated samples whose
+	// per-envelope autocorrelation follows the Jakes model (Section 5).
+	ModeRealtime = "realtime"
+)
+
+// Model types.
+const (
+	// ModelEq22 is the literal N = 3 covariance matrix the paper prints as
+	// Eq. (22) — the spectral-correlation example evaluated in Section 6.
+	ModelEq22 = "eq22"
+	// ModelIdentity is the N×N identity covariance (uncorrelated envelopes).
+	ModelIdentity = "identity"
+	// ModelExplicit supplies the covariance matrix entry by entry, each
+	// complex value as a [re, im] pair (bare numbers are accepted as reals).
+	ModelExplicit = "explicit"
+	// ModelExponential is ρ^|k−j| with an optional per-step phase rotation.
+	ModelExponential = "exponential"
+	// ModelConstant gives every distinct pair the same real correlation ρ;
+	// ρ < −1/(N−1) yields an indefinite matrix, the paper's E6 stress case.
+	ModelConstant = "constant"
+	// ModelSpectral is the Jakes spectral model of Section 2 (Eq. (3)–(4))
+	// over N carriers at uniform spacing with τ_{k,j} = |k−j|·DelayStepS.
+	ModelSpectral = "spectral"
+	// ModelSpatial is the Salz–Winters spatial model of Section 3
+	// (Eq. (5)–(7)) for a uniform linear array.
+	ModelSpatial = "spatial"
+)
+
+// Assertion types.
+const (
+	// AssertCovariance compares the sample covariance of the generated
+	// complex Gaussians against the scenario's covariance target.
+	AssertCovariance = "covariance"
+	// AssertCovarianceDefect requires the covariance error to be AT LEAST a
+	// floor — used to demonstrate a known-bad configuration (the
+	// unit-variance assumption of [6] that Section 5 corrects).
+	AssertCovarianceDefect = "covariance_defect"
+	// AssertEnvelopeMoments checks the envelope mean and variance against
+	// Eq. (14)–(15) applied to the (forced) covariance diagonal.
+	AssertEnvelopeMoments = "envelope_moments"
+	// AssertRayleighKS runs a Kolmogorov–Smirnov test of one envelope
+	// against the theoretical Rayleigh distribution.
+	AssertRayleighKS = "rayleigh_ks"
+	// AssertRayleighChiSquare runs an equal-probability-bin chi-square test
+	// of one envelope against the theoretical Rayleigh distribution.
+	AssertRayleighChiSquare = "rayleigh_chisquare"
+	// AssertAutocorrelation compares one envelope's lagged autocorrelation
+	// against the Jakes model J0(2π·fm·d) (realtime mode only).
+	AssertAutocorrelation = "autocorrelation"
+	// AssertPSDForcing checks the positive semi-definiteness forcing
+	// diagnostics (Section 4.2): clamped eigenvalue count, Frobenius error,
+	// Cholesky-baseline failure, and the ε-clamp comparison of E6.
+	AssertPSDForcing = "psd_forcing"
+	// AssertIntoIdentity requires the allocating and the Into generation
+	// paths to produce bit-identical output from the same seed.
+	AssertIntoIdentity = "into_identity"
+	// AssertParallelIdentity requires the batched path to produce
+	// bit-identical output at worker count 1 and at Workers.
+	AssertParallelIdentity = "parallel_identity"
+)
+
+// Spec is one declarative scenario.
+type Spec struct {
+	// Name identifies the scenario in reports and filters; it should be a
+	// short kebab-case slug unique within the scenario directory.
+	Name string `json:"name"`
+	// Description says what the scenario covers and why it exists.
+	Description string `json:"description,omitempty"`
+	// Tags support filtering groups of scenarios (e.g. "ofdm", "stress").
+	Tags []string `json:"tags,omitempty"`
+	// Seed seeds every random stream of the run. Fixed per scenario so the
+	// gates are deterministic.
+	Seed int64 `json:"seed"`
+	// Model selects and parameterizes the correlation model.
+	Model ModelSpec `json:"model"`
+	// Generation selects the generation mode and sizes.
+	Generation GenerationSpec `json:"generation"`
+	// Assertions is the gate list; every assertion must pass for the
+	// scenario to pass. Order is preserved in reports.
+	Assertions []AssertionSpec `json:"assertions"`
+}
+
+// ModelSpec parameterizes a correlation model. Type selects the model; the
+// other fields are read per type as documented on the Model* constants and
+// in docs/scenarios.md.
+type ModelSpec struct {
+	Type string `json:"type"`
+	// N is the number of envelopes (identity, exponential, constant,
+	// spectral, spatial). Eq22 is fixed at 3; explicit infers N from the
+	// covariance rows.
+	N int `json:"n,omitempty"`
+	// Power is the common Gaussian power σ²; zero selects 1.
+	Power float64 `json:"power,omitempty"`
+	// Rho is the correlation magnitude of the exponential and constant
+	// models.
+	Rho float64 `json:"rho,omitempty"`
+	// PhaseRad rotates each adjacent exponential pair, producing complex
+	// covariances.
+	PhaseRad float64 `json:"phase_rad,omitempty"`
+	// Covariance is the explicit model's matrix, row by row.
+	Covariance [][]Complex `json:"covariance,omitempty"`
+	// CarrierSpacingHz, MaxDopplerHz, RMSDelaySpreadS, DelayStepS are the
+	// spectral model parameters: N carriers at uniform spacing, pairwise
+	// arrival delays τ_{k,j} = |k−j|·DelayStepS.
+	CarrierSpacingHz float64 `json:"carrier_spacing_hz,omitempty"`
+	MaxDopplerHz     float64 `json:"max_doppler_hz,omitempty"`
+	RMSDelaySpreadS  float64 `json:"rms_delay_spread_s,omitempty"`
+	DelayStepS       float64 `json:"delay_step_s,omitempty"`
+	// SpacingWavelengths, AngularSpreadRad, MeanAngleRad are the spatial
+	// model parameters (D/λ, Δ, Φ).
+	SpacingWavelengths float64 `json:"spacing_wavelengths,omitempty"`
+	AngularSpreadRad   float64 `json:"angular_spread_rad,omitempty"`
+	MeanAngleRad       float64 `json:"mean_angle_rad,omitempty"`
+}
+
+// GenerationSpec selects the generation mode and sizes.
+type GenerationSpec struct {
+	// Mode is one of the Mode* constants.
+	Mode string `json:"mode"`
+	// Draws is the number of independent snapshots (snapshot and batched
+	// modes).
+	Draws int `json:"draws,omitempty"`
+	// Blocks is the number of consecutive real-time blocks (realtime mode).
+	Blocks int `json:"blocks,omitempty"`
+	// IDFTPoints is the Doppler generator block length M (realtime mode);
+	// zero selects the paper's 4096.
+	IDFTPoints int `json:"idft_points,omitempty"`
+	// NormalizedDoppler is fm = Fm/Fs in (0, 0.5) (realtime mode); zero
+	// selects the paper's 0.05.
+	NormalizedDoppler float64 `json:"normalized_doppler,omitempty"`
+	// InputVariance is σ²_orig of the Doppler filter input (realtime mode);
+	// zero selects the paper's 1/2.
+	InputVariance float64 `json:"input_variance,omitempty"`
+	// Workers is the worker count of the batched paths (batched and
+	// realtime modes); values <= 1 select the sequential path. In realtime
+	// mode, workers > 1 generates the blocks through GenerateBlocksInto,
+	// whose per-block streams differ from the sequential GenerateBlock
+	// streams (both are deterministic, and output is worker-count
+	// invariant).
+	Workers int `json:"workers,omitempty"`
+	// AssumeUnitVariance skips the Eq. (19) Doppler-gain correction,
+	// reproducing the defect of [6]. Only meaningful in realtime mode and
+	// only useful together with AssertCovarianceDefect.
+	AssumeUnitVariance bool `json:"assume_unit_variance,omitempty"`
+}
+
+// AssertionSpec is one gate. Type selects the assertion; the other fields
+// are tolerances and knobs read per type as documented on the Assert*
+// constants and in docs/scenarios.md. Zero-valued tolerances mean "not
+// checked" except where a type requires one (validated by Spec.Validate).
+type AssertionSpec struct {
+	Type string `json:"type"`
+	// Against selects the covariance comparison target: "target" (default,
+	// the requested matrix) or "forced" (the PSD approximation actually
+	// colored — the right target when the request was indefinite).
+	Against string `json:"against,omitempty"`
+	// MaxAbsError bounds the entrywise |estimate − target| of covariance
+	// assertions.
+	MaxAbsError float64 `json:"max_abs_error,omitempty"`
+	// MaxRelFrobenius bounds ‖estimate − target‖_F / ‖target‖_F.
+	MaxRelFrobenius float64 `json:"max_rel_frobenius,omitempty"`
+	// MinAbsError is the covariance_defect floor: the entrywise error must
+	// be at least this large.
+	MinAbsError float64 `json:"min_abs_error,omitempty"`
+	// Envelope is the envelope index observed by moment, KS, chi-square and
+	// autocorrelation assertions.
+	Envelope int `json:"envelope,omitempty"`
+	// MeanTolerance and VarianceTolerance are relative tolerances of the
+	// envelope-moment checks against Eq. (14)–(15).
+	MeanTolerance     float64 `json:"mean_tolerance,omitempty"`
+	VarianceTolerance float64 `json:"variance_tolerance,omitempty"`
+	// MinPValue is the significance floor of the KS and chi-square gates.
+	MinPValue float64 `json:"min_p_value,omitempty"`
+	// Bins is the chi-square bin count; zero selects 20.
+	Bins int `json:"bins,omitempty"`
+	// MaxLag is the last autocorrelation lag compared; zero selects 100.
+	MaxLag int `json:"max_lag,omitempty"`
+	// Tolerance bounds the worst |measured − J0| autocorrelation deviation.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// MinClamped is the minimum clamped-eigenvalue count of psd_forcing.
+	MinClamped int `json:"min_clamped,omitempty"`
+	// MaxClamped bounds the clamped count from above; -1 (default via
+	// omission is "unchecked") — use 0 with CheckClamped to demand a PSD
+	// input passed through untouched.
+	MaxClamped *int `json:"max_clamped,omitempty"`
+	// MaxFrobeniusError bounds the forcing approximation error ‖K − K̄‖_F.
+	MaxFrobeniusError float64 `json:"max_frobenius_error,omitempty"`
+	// ExpectCholeskyFailure demands that the conventional Cholesky-based
+	// baseline rejects the scenario's covariance (E6).
+	ExpectCholeskyFailure bool `json:"expect_cholesky_failure,omitempty"`
+	// BeatsEpsilonClamp demands the zero-clamp Frobenius error be no worse
+	// than the ε-clamp baseline of Sorooshyari–Daut (E6).
+	BeatsEpsilonClamp bool `json:"beats_epsilon_clamp,omitempty"`
+	// Workers is the parallel worker count compared against the sequential
+	// path by parallel_identity; zero selects 4.
+	Workers int `json:"workers,omitempty"`
+	// Units caps the units of work (snapshots or blocks) regenerated by the
+	// identity assertions; zero selects min(256, Generation size).
+	Units int `json:"units,omitempty"`
+}
+
+// Complex is a complex128 that marshals as the two-element JSON array
+// [re, im]; bare JSON numbers are accepted as purely real values.
+type Complex complex128
+
+// MarshalJSON implements json.Marshaler.
+func (c Complex) MarshalJSON() ([]byte, error) {
+	return json.Marshal([2]float64{real(complex128(c)), imag(complex128(c))})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Complex) UnmarshalJSON(b []byte) error {
+	var pair [2]float64
+	if err := json.Unmarshal(b, &pair); err == nil {
+		*c = Complex(complex(pair[0], pair[1]))
+		return nil
+	}
+	var re float64
+	if err := json.Unmarshal(b, &re); err == nil {
+		*c = Complex(complex(re, 0))
+		return nil
+	}
+	return fmt.Errorf("scenario: complex value must be [re, im] or a number, got %s: %w", b, ErrBadSpec)
+}
+
+// Validate checks the spec for structural consistency: required fields,
+// known model/mode/assertion types, and mode-compatibility of every
+// assertion. It does not touch the random streams.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec has no name: %w", ErrBadSpec)
+	}
+	if err := s.Model.validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if err := s.Generation.validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if len(s.Assertions) == 0 {
+		return fmt.Errorf("scenario %q: no assertions: %w", s.Name, ErrBadSpec)
+	}
+	for i := range s.Assertions {
+		if err := s.Assertions[i].validate(s.Generation.Mode); err != nil {
+			return fmt.Errorf("scenario %q assertion %d: %w", s.Name, i, err)
+		}
+	}
+	return nil
+}
+
+func (m *ModelSpec) validate() error {
+	switch m.Type {
+	case ModelEq22:
+		if m.N != 0 && m.N != 3 {
+			return fmt.Errorf("eq22 model is fixed at N = 3, got n = %d: %w", m.N, ErrBadSpec)
+		}
+	case ModelIdentity, ModelExponential, ModelConstant, ModelSpectral, ModelSpatial:
+		if m.N <= 0 {
+			return fmt.Errorf("model %q needs n > 0: %w", m.Type, ErrBadSpec)
+		}
+	case ModelExplicit:
+		if len(m.Covariance) == 0 {
+			return fmt.Errorf("explicit model needs a covariance matrix: %w", ErrBadSpec)
+		}
+		for i, row := range m.Covariance {
+			if len(row) != len(m.Covariance) {
+				return fmt.Errorf("explicit covariance row %d has %d entries, want %d: %w",
+					i, len(row), len(m.Covariance), ErrBadSpec)
+			}
+		}
+	case "":
+		return fmt.Errorf("model has no type: %w", ErrBadSpec)
+	default:
+		return fmt.Errorf("unknown model type %q: %w", m.Type, ErrBadSpec)
+	}
+	return nil
+}
+
+func (g *GenerationSpec) validate() error {
+	switch g.Mode {
+	case ModeSnapshot, ModeBatched:
+		if g.Draws <= 0 {
+			return fmt.Errorf("%s mode needs draws > 0: %w", g.Mode, ErrBadSpec)
+		}
+		if g.Blocks != 0 || g.IDFTPoints != 0 || g.NormalizedDoppler != 0 ||
+			g.InputVariance != 0 || g.AssumeUnitVariance {
+			return fmt.Errorf("%s mode does not accept realtime parameters: %w", g.Mode, ErrBadSpec)
+		}
+		if g.Mode == ModeSnapshot && g.Workers > 1 {
+			return fmt.Errorf("snapshot mode is sequential; use batched mode for workers: %w", ErrBadSpec)
+		}
+	case ModeRealtime:
+		if g.Blocks <= 0 {
+			return fmt.Errorf("realtime mode needs blocks > 0: %w", ErrBadSpec)
+		}
+		if g.Draws != 0 {
+			return fmt.Errorf("realtime mode does not accept draws: %w", ErrBadSpec)
+		}
+	case "":
+		return fmt.Errorf("generation has no mode: %w", ErrBadSpec)
+	default:
+		return fmt.Errorf("unknown generation mode %q: %w", g.Mode, ErrBadSpec)
+	}
+	return nil
+}
+
+func (a *AssertionSpec) validate(mode string) error {
+	switch a.Type {
+	case AssertCovariance:
+		if a.MaxAbsError <= 0 && a.MaxRelFrobenius <= 0 {
+			return fmt.Errorf("covariance assertion needs max_abs_error or max_rel_frobenius: %w", ErrBadSpec)
+		}
+		if a.Against != "" && a.Against != "target" && a.Against != "forced" {
+			return fmt.Errorf("covariance against must be \"target\" or \"forced\", got %q: %w", a.Against, ErrBadSpec)
+		}
+	case AssertCovarianceDefect:
+		if a.MinAbsError <= 0 {
+			return fmt.Errorf("covariance_defect assertion needs min_abs_error > 0: %w", ErrBadSpec)
+		}
+	case AssertEnvelopeMoments:
+		if a.MeanTolerance <= 0 && a.VarianceTolerance <= 0 {
+			return fmt.Errorf("envelope_moments assertion needs mean_tolerance or variance_tolerance: %w", ErrBadSpec)
+		}
+	case AssertRayleighKS, AssertRayleighChiSquare:
+		if mode == ModeRealtime {
+			// The i.i.d. p-value computation is invalid on time-correlated
+			// realtime samples; their marginals are checked via moments.
+			return fmt.Errorf("%s assertion needs snapshot or batched mode, got %q: %w", a.Type, mode, ErrBadSpec)
+		}
+		if a.MinPValue <= 0 {
+			return fmt.Errorf("%s assertion needs min_p_value > 0: %w", a.Type, ErrBadSpec)
+		}
+	case AssertAutocorrelation:
+		if mode != ModeRealtime {
+			return fmt.Errorf("autocorrelation assertion needs realtime mode, got %q: %w", mode, ErrBadSpec)
+		}
+		if a.Tolerance <= 0 {
+			return fmt.Errorf("autocorrelation assertion needs tolerance > 0: %w", ErrBadSpec)
+		}
+	case AssertPSDForcing:
+		if a.MinClamped == 0 && a.MaxClamped == nil && a.MaxFrobeniusError == 0 &&
+			!a.ExpectCholeskyFailure && !a.BeatsEpsilonClamp {
+			return fmt.Errorf("psd_forcing assertion checks nothing: %w", ErrBadSpec)
+		}
+	case AssertIntoIdentity:
+	case AssertParallelIdentity:
+		if mode == ModeSnapshot {
+			return fmt.Errorf("parallel_identity assertion needs batched or realtime mode: %w", ErrBadSpec)
+		}
+	case "":
+		return fmt.Errorf("assertion has no type: %w", ErrBadSpec)
+	default:
+		return fmt.Errorf("unknown assertion type %q: %w", a.Type, ErrBadSpec)
+	}
+	return nil
+}
+
+// HasTag reports whether the spec carries the given tag.
+func (s *Spec) HasTag(tag string) bool {
+	for _, t := range s.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
