@@ -1,0 +1,220 @@
+// Command loadtest is the fadingd load generator: it opens many concurrent
+// sessions, streams blocks as fast as the server will serve them for a fixed
+// duration, and reports sustained throughput (blocks/s, samples/s, MB/s) as
+// JSON so future changes can gate on regressions.
+//
+// By default it starts an in-process fadingd on a loopback port, which
+// measures the service stack (session manager, worker pool, framing) without
+// network noise; point -addr at a running server to measure a deployment.
+//
+// Usage:
+//
+//	loadtest [-addr http://host:port] [-sessions 4] [-duration 5s]
+//	         [-blocks-per-request 32] [-idft 1024] [-format bin]
+//	         [-workers N] [-o report.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// report is the JSON document written at exit.
+type report struct {
+	Addr             string  `json:"addr"`
+	InProcess        bool    `json:"in_process"`
+	Sessions         int     `json:"sessions"`
+	Format           string  `json:"format"`
+	IDFTPoints       int     `json:"idft_points"`
+	BlocksPerRequest int     `json:"blocks_per_request"`
+	Seconds          float64 `json:"seconds"`
+	Blocks           int64   `json:"blocks"`
+	Samples          int64   `json:"samples"`
+	Bytes            int64   `json:"bytes"`
+	BlocksPerSec     float64 `json:"blocks_per_sec"`
+	SamplesPerSec    float64 `json:"samples_per_sec"`
+	MBPerSec         float64 `json:"mb_per_sec"`
+	Requests         int64   `json:"requests"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "base URL of a running fadingd (empty = start one in-process)")
+		sessions = flag.Int("sessions", 4, "concurrent sessions")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window")
+		perReq   = flag.Int("blocks-per-request", 32, "blocks streamed per request (resume loops the session)")
+		idft     = flag.Int("idft", 1024, "block length in samples")
+		format   = flag.String("format", service.FormatBinary, "stream format: bin or ndjson")
+		workers  = flag.Int("workers", 0, "in-process server pool size (0 = GOMAXPROCS)")
+		out      = flag.String("o", "", "also write the JSON report to this file")
+	)
+	flag.Parse()
+
+	base := *addr
+	inProcess := base == ""
+	if inProcess {
+		svc := service.New(service.Config{Workers: *workers})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("loadtest: listen: %v", err)
+		}
+		httpSrv := &http.Server{Handler: svc.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	var blocks, samples, bytesRead, requests atomic.Int64
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := driveSession(base, int64(i), *idft, *perReq, *format, deadline,
+				&blocks, &samples, &bytesRead, &requests); err != nil {
+				log.Printf("loadtest: session %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	r := report{
+		Addr:             base,
+		InProcess:        inProcess,
+		Sessions:         *sessions,
+		Format:           *format,
+		IDFTPoints:       *idft,
+		BlocksPerRequest: *perReq,
+		Seconds:          elapsed,
+		Blocks:           blocks.Load(),
+		Samples:          samples.Load(),
+		Bytes:            bytesRead.Load(),
+		Requests:         requests.Load(),
+	}
+	if elapsed > 0 {
+		r.BlocksPerSec = float64(r.Blocks) / elapsed
+		r.SamplesPerSec = float64(r.Samples) / elapsed
+		r.MBPerSec = float64(r.Bytes) / elapsed / (1 << 20)
+	}
+	doc, _ := json.MarshalIndent(r, "", "  ")
+	doc = append(doc, '\n')
+	os.Stdout.Write(doc)
+	if *out != "" {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			log.Fatalf("loadtest: write %s: %v", *out, err)
+		}
+	}
+	if r.Blocks == 0 {
+		log.Fatal("loadtest: no blocks served")
+	}
+}
+
+// driveSession opens one session and streams ranges of it in a resume loop
+// until the deadline, accumulating the counters.
+func driveSession(base string, seed int64, idft, perReq int, format string, deadline time.Time,
+	blocks, samples, bytesRead, requests *atomic.Int64) error {
+	spec := fmt.Sprintf(`{"model": {"type": "eq22"}, "seed": %d, "blocks": %d, "idft_points": %d}`,
+		seed, 1<<20, idft)
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("create session: status %d: %s", resp.StatusCode, body)
+	}
+	var info struct {
+		ID          string `json:"id"`
+		N           int    `json:"n"`
+		BlockLength int    `json:"block_length"`
+		Blocks      int    `json:"blocks"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		return fmt.Errorf("decode session info: %w", err)
+	}
+
+	from := 0
+	for time.Now().Before(deadline) {
+		if from+perReq > info.Blocks {
+			from = 0
+		}
+		url := fmt.Sprintf("%s/v1/sessions/%s/stream?format=%s&from=%d&count=%d",
+			base, info.ID, format, from, perReq)
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		requests.Add(1)
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return fmt.Errorf("stream: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+		got, n, err := consume(resp.Body, format)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		blocks.Add(got)
+		samples.Add(got * int64(info.N) * int64(info.BlockLength))
+		bytesRead.Add(n)
+		from += perReq
+	}
+	return nil
+}
+
+// consume drains one stream response, returning the block count and bytes.
+func consume(r io.Reader, format string) (int64, int64, error) {
+	cr := &countingReader{r: r}
+	var blocks int64
+	if format == service.FormatBinary {
+		for {
+			_, _, _, err := service.DecodeBinaryFrame(cr)
+			if err == io.EOF {
+				return blocks, cr.n, nil
+			}
+			if err != nil {
+				return blocks, cr.n, err
+			}
+			blocks++
+		}
+	}
+	sc := bufio.NewScanner(cr)
+	sc.Buffer(nil, 1<<26)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			blocks++
+		}
+	}
+	return blocks, cr.n, sc.Err()
+}
+
+// countingReader tracks payload bytes received.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,89 @@
+// Command fadingd is the streaming channel-simulation server: a long-running
+// HTTP service that turns the library's deterministic fading engine into a
+// shared facility. Clients POST a channel spec (the scenario files' model
+// vocabulary), receive a session ID, and stream blocks of correlated
+// Rayleigh envelopes as NDJSON or compact binary frames, resuming at any
+// block with ?from=k. The wire protocol, spec schema and capacity tuning are
+// documented in docs/service.md; a load generator lives in
+// cmd/fadingd/loadtest.
+//
+// Usage:
+//
+//	fadingd [-addr :8080] [-workers N] [-queue N] [-window N]
+//	        [-session-ttl 5m] [-max-sessions 256]
+//	        [-max-envelopes 64] [-max-blocks 1048576] [-max-idft 65536]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "generation pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "pool job queue depth (0 = 2x workers)")
+		window       = flag.Int("window", 0, "per-stream in-flight block budget (0 = 4)")
+		sessionTTL   = flag.Duration("session-ttl", 5*time.Minute, "evict sessions idle longer than this")
+		maxSessions  = flag.Int("max-sessions", 256, "session table capacity")
+		maxEnvelopes = flag.Int("max-envelopes", 0, "largest model N a spec may request (0 = 64)")
+		maxBlocks    = flag.Int("max-blocks", 0, "longest stream a spec may request (0 = 1<<20)")
+		maxIDFT      = flag.Int("max-idft", 0, "largest block length a spec may request (0 = 1<<16)")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Window:      *window,
+		SessionTTL:  *sessionTTL,
+		MaxSessions: *maxSessions,
+		Limits: service.Limits{
+			MaxEnvelopes:  *maxEnvelopes,
+			MaxBlocks:     *maxBlocks,
+			MaxIDFTPoints: *maxIDFT,
+		},
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("fadingd listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("fadingd: %s, shutting down", sig)
+	case err := <-errc:
+		log.Fatalf("fadingd: serve: %v", err)
+	}
+
+	// Graceful shutdown: stop the streams at their next block boundary, let
+	// the HTTP server drain, then tear down sessions and the worker pool.
+	svc.BeginShutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "fadingd: shutdown: %v\n", err)
+	}
+	svc.Close()
+	log.Printf("fadingd: bye")
+}

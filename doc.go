@@ -57,6 +57,17 @@
 // repository root (regenerate with "go run ./cmd/benchreport"); the
 // methodology and fixed seeds are documented in docs/benchmarking.md.
 //
+// # Concurrency
+//
+// Generator and RealTime are not safe for concurrent use: their methods
+// share internal scratch, so drive each instance from one goroutine at a
+// time. (The Parallel worker fan-out happens inside a single SnapshotsInto /
+// BlocksInto call and needs no caller-side coordination.) The concurrent
+// entry point is Stream: it is immutable after construction and hands out
+// independent Cursors, each owning its generation workspace, so any number
+// of goroutines can serve blocks of the same deterministic sequence — the
+// basis of the fadingd streaming service (see docs/service.md).
+//
 // # Scenarios
 //
 // Statistical correctness is guarded by a declarative scenario harness:
@@ -66,4 +77,14 @@
 // release gate ("go run ./cmd/scenariorun -all"; CI runs the full corpus on
 // every pull request). The spec schema and assertion catalog are documented
 // in docs/scenarios.md.
+//
+// # Service
+//
+// cmd/fadingd serves the engine over HTTP as a long-running streaming
+// service: sessions are created from the same correlation-model vocabulary
+// the scenario files use, and their block streams are deterministic and
+// resumable (?from=k is byte-identical to the tail of a from-0 stream, at
+// any server worker count). Endpoints, the spec schema, the binary frame
+// layout and capacity tuning are documented in docs/service.md; a load
+// generator lives in cmd/fadingd/loadtest.
 package rayleigh

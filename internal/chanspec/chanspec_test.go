@@ -1,0 +1,84 @@
+package chanspec
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestComplexJSONRoundTrip(t *testing.T) {
+	cases := []Complex{0, 1, Complex(complex(0.5, -0.25)), Complex(complex(-3, 2))}
+	for _, c := range cases {
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c, err)
+		}
+		var back Complex
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != c {
+			t.Fatalf("round trip %v -> %s -> %v", c, data, back)
+		}
+	}
+	// Bare numbers decode as purely real.
+	var c Complex
+	if err := json.Unmarshal([]byte("0.75"), &c); err != nil || c != Complex(complex(0.75, 0)) {
+		t.Fatalf("bare number: %v, err %v", c, err)
+	}
+	if err := json.Unmarshal([]byte(`"nope"`), &c); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("bad complex: err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	bad := []Model{
+		{},                      // no type
+		{Type: "warp"},          // unknown
+		{Type: ModelEq22, N: 4}, // eq22 is fixed at 3
+		{Type: ModelIdentity},   // needs n
+		{Type: ModelExplicit},   // needs covariance
+		{Type: ModelExplicit, Covariance: [][]Complex{{1, 0}, {0}}}, // ragged
+	}
+	for i, m := range bad {
+		if err := m.Validate(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("bad model %d: err = %v, want ErrBadSpec", i, err)
+		}
+	}
+	good := []Model{
+		{Type: ModelEq22},
+		{Type: ModelIdentity, N: 4},
+		{Type: ModelExponential, N: 3, Rho: 0.5},
+		{Type: ModelExplicit, Covariance: [][]Complex{{1, 0}, {0, 1}}},
+	}
+	for i, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("good model %d: %v", i, err)
+		}
+	}
+}
+
+func TestBuildShapes(t *testing.T) {
+	for _, tc := range []struct {
+		model Model
+		n     int
+	}{
+		{Model{Type: ModelEq22}, 3},
+		{Model{Type: ModelIdentity, N: 5, Power: 2}, 5},
+		{Model{Type: ModelExponential, N: 4, Rho: 0.6, PhaseRad: 0.3}, 4},
+		{Model{Type: ModelConstant, N: 3, Rho: -0.9}, 3},
+		{Model{Type: ModelSpatial, N: 4, SpacingWavelengths: 0.5, AngularSpreadRad: 0.2}, 4},
+	} {
+		k, err := tc.model.Build()
+		if err != nil {
+			t.Fatalf("Build(%s): %v", tc.model.Type, err)
+		}
+		if k.Rows() != tc.n || k.Cols() != tc.n {
+			t.Fatalf("Build(%s): %dx%d, want %dx%d", tc.model.Type, k.Rows(), k.Cols(), tc.n, tc.n)
+		}
+	}
+	eq22 := Eq22Covariance()
+	if got := eq22.At(0, 1); got != 0.3782+0.4753i {
+		t.Fatalf("Eq22Covariance[0][1] = %v", got)
+	}
+}

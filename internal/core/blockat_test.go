@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/doppler"
+)
+
+func newBlockAtGenerator(t testing.TB, m int, seed int64) *RealTimeGenerator {
+	t.Helper()
+	k := cmplxmat.MustFromRows([][]complex128{
+		{1, 0.3782 + 0.4753i, 0.0878 + 0.2207i},
+		{0.3782 - 0.4753i, 1, 0.3063 + 0.3849i},
+		{0.0878 - 0.2207i, 0.3063 - 0.3849i, 1},
+	})
+	gen, err := NewRealTimeGenerator(RealTimeConfig{
+		Covariance: k,
+		Filter:     doppler.FilterSpec{M: m, NormalizedDoppler: 0.05},
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatalf("NewRealTimeGenerator: %v", err)
+	}
+	return gen
+}
+
+// TestGenerateBlockAtMatchesBlocksInto pins the resume contract: block i of
+// the batched sequence is reproducible in isolation, for any worker count
+// and regardless of how the batched run was sliced into calls.
+func TestGenerateBlockAtMatchesBlocksInto(t *testing.T) {
+	const blocks = 7
+	for _, workers := range []int{1, 3} {
+		batched := newBlockAtGenerator(t, 128, 42)
+		dst := make([]*Block, blocks)
+		for i := range dst {
+			dst[i] = NewBlock(batched.N(), batched.BlockLength())
+		}
+		// Two calls: the second must continue the sequence.
+		if err := batched.GenerateBlocksInto(dst[:3], workers); err != nil {
+			t.Fatalf("GenerateBlocksInto(first): %v", err)
+		}
+		if err := batched.GenerateBlocksInto(dst[3:], workers); err != nil {
+			t.Fatalf("GenerateBlocksInto(second): %v", err)
+		}
+
+		random := newBlockAtGenerator(t, 128, 42)
+		scratch, err := random.NewBlockScratch()
+		if err != nil {
+			t.Fatalf("NewBlockScratch: %v", err)
+		}
+		got := NewBlock(random.N(), random.BlockLength())
+		// Access out of order on purpose.
+		for _, i := range []int{6, 0, 3, 5, 1, 4, 2} {
+			if err := random.GenerateBlockAt(uint64(i), got, scratch); err != nil {
+				t.Fatalf("GenerateBlockAt(%d): %v", i, err)
+			}
+			if n := blockMismatchCount(dst[i], got); n != 0 {
+				t.Fatalf("workers=%d block %d: %d mismatched values between GenerateBlockAt and GenerateBlocksInto", workers, i, n)
+			}
+		}
+	}
+}
+
+// TestGenerateBlockAtConcurrent drives one generator from many goroutines,
+// each with a private scratch and destination; run under -race this proves
+// the random-access path needs no locking.
+func TestGenerateBlockAtConcurrent(t *testing.T) {
+	const blocks = 12
+	gen := newBlockAtGenerator(t, 64, 7)
+	want := make([]*Block, blocks)
+	for i := range want {
+		want[i] = NewBlock(gen.N(), gen.BlockLength())
+	}
+	if err := gen.GenerateBlocksInto(want, 1); err != nil {
+		t.Fatalf("GenerateBlocksInto: %v", err)
+	}
+
+	shared := newBlockAtGenerator(t, 64, 7)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	mismatches := make([]int, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch, err := shared.NewBlockScratch()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			b := NewBlock(shared.N(), shared.BlockLength())
+			for i := w; i < blocks; i += 4 {
+				if err := shared.GenerateBlockAt(uint64(i), b, scratch); err != nil {
+					errs[w] = err
+					return
+				}
+				mismatches[w] += blockMismatchCount(want[i], b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range errs {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if mismatches[w] != 0 {
+			t.Fatalf("worker %d: %d mismatched values vs batched reference", w, mismatches[w])
+		}
+	}
+}
+
+// TestGenerateBlockAtNoAllocs locks in the steady-state allocation behavior
+// the service generation path depends on.
+func TestGenerateBlockAtNoAllocs(t *testing.T) {
+	gen := newBlockAtGenerator(t, 256, 3)
+	scratch, err := gen.NewBlockScratch()
+	if err != nil {
+		t.Fatalf("NewBlockScratch: %v", err)
+	}
+	b := NewBlock(gen.N(), gen.BlockLength())
+	var i uint64
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := gen.GenerateBlockAt(i%16, b, scratch); err != nil {
+			t.Fatalf("GenerateBlockAt: %v", err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("GenerateBlockAt allocated %.1f times per block, want 0", allocs)
+	}
+}
+
+// blockMismatchCount counts value positions where two blocks differ bitwise.
+func blockMismatchCount(a, b *Block) int {
+	n := 0
+	for j := range a.Gaussian {
+		for l := range a.Gaussian[j] {
+			if a.Gaussian[j][l] != b.Gaussian[j][l] || a.Envelopes[j][l] != b.Envelopes[j][l] {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -81,15 +81,19 @@ func (b *Block) ensureShape(n, m int) {
 	}
 }
 
-// BlockScratch is the per-worker workspace of the parallel block fan-out: the
-// N×M input and output panels of the coloring GEMM plus the worker's Doppler
-// generators. For power-of-two M the generators are the generator-shared set
-// (read-only after construction, so concurrent BlockInto calls are safe); for
-// other lengths each worker gets private generators because the Bluestein
-// IDFT plan owns convolution scratch.
+// BlockScratch is the per-worker workspace of the parallel block fan-out and
+// of random-access block generation: the N×M input and output panels of the
+// coloring GEMM, the worker's Doppler generators, and a reusable set of
+// per-envelope RNGs reseeded for every block. For power-of-two M the
+// generators are the generator-shared set (read-only after construction, so
+// concurrent BlockInto calls are safe); for other lengths each worker gets
+// private generators because the Bluestein IDFT plan owns convolution
+// scratch.
 type BlockScratch struct {
 	w, z *cmplxmat.Matrix
 	gens []*doppler.Generator
+	root *randx.RNG
+	rngs []*randx.RNG
 }
 
 // RealTimeGenerator implements the combined algorithm of Section 5. The
@@ -100,14 +104,22 @@ type RealTimeGenerator struct {
 	snapshot   *SnapshotGenerator
 	generators []*doppler.Generator
 	rngs       []*randx.RNG
-	batchRoot  *randx.RNG // derives one stream set per block (GenerateBlocksInto)
-	n          int
-	m          int
-	sigmaG2    float64
-	spec       doppler.FilterSpec
-	inputVar   float64
-	w, z       *cmplxmat.Matrix // sequential-path GEMM panels
-	scratches  []*BlockScratch  // cached worker workspaces (GenerateBlocksInto)
+	// batchRoot is the frozen root of the per-block stream sets: block i of
+	// the batched/random-access paths draws from batchRoot.SplitAt(i). It is
+	// never advanced, so GenerateBlockAt stays a pure function of the seed
+	// and the block index.
+	batchRoot *randx.RNG
+	// batchNext is the index of the next block GenerateBlocksInto will
+	// produce, so consecutive batched calls continue one deterministic block
+	// sequence.
+	batchNext uint64
+	n         int
+	m         int
+	sigmaG2   float64
+	spec      doppler.FilterSpec
+	inputVar  float64
+	w, z      *cmplxmat.Matrix // sequential-path GEMM panels
+	scratches []*BlockScratch  // cached worker workspaces (GenerateBlocksInto)
 }
 
 // NewRealTimeGenerator validates the configuration and builds the N Doppler
@@ -264,11 +276,45 @@ func (g *RealTimeGenerator) NewBlockScratch() (*BlockScratch, error) {
 			gens[j] = dg
 		}
 	}
+	rngs := make([]*randx.RNG, g.n)
+	for j := range rngs {
+		rngs[j] = randx.New(0)
+	}
 	return &BlockScratch{
 		w:    cmplxmat.New(g.n, g.m),
 		z:    cmplxmat.New(g.n, g.m),
 		gens: gens,
+		root: randx.New(0),
+		rngs: rngs,
 	}, nil
+}
+
+// GenerateBlockAt generates block index of the deterministic batched block
+// sequence into b using the caller-owned scratch s: the same values
+// GenerateBlocksInto would place at position index of a from-construction
+// run, regardless of call order, batch sizes or worker counts. Random access
+// is what makes streams resumable — serving block k to a resuming client is
+// bit-identical to having streamed from 0.
+//
+// The call reads only construction-time generator state, so concurrent
+// GenerateBlockAt calls with distinct b and s are safe (any M; non-power-of-
+// two scratches carry private Doppler generators). With a pre-shaped b and
+// power-of-two M it performs no heap allocation: the scratch's RNG set is
+// reseeded in place from the O(1) split derivation.
+func (g *RealTimeGenerator) GenerateBlockAt(index uint64, b *Block, s *BlockScratch) error {
+	if b == nil {
+		return fmt.Errorf("core: nil destination block: %w", ErrBadInput)
+	}
+	if s == nil {
+		return fmt.Errorf("core: nil block scratch: %w", ErrBadInput)
+	}
+	s.root.Reseed(g.batchRoot.SplitSeedAt(index))
+	for _, r := range s.rngs {
+		r.Reseed(s.root.SplitSeed())
+	}
+	b.ensureShape(g.n, g.m)
+	g.fillBlock(s.gens, s.rngs, s.w, s.z, b)
+	return nil
 }
 
 // GenerateBlocksInto fills dst with len(dst) consecutive blocks. Every block
@@ -280,7 +326,8 @@ func (g *RealTimeGenerator) NewBlockScratch() (*BlockScratch, error) {
 //
 // The per-block streams are distinct from the persistent streams behind
 // GenerateBlock: a batched run reproduces other batched runs, not a sequence
-// of GenerateBlock calls.
+// of GenerateBlock calls. Consecutive calls continue one deterministic block
+// sequence, every position of which GenerateBlockAt reproduces in isolation.
 func (g *RealTimeGenerator) GenerateBlocksInto(dst []*Block, workers int) error {
 	if len(dst) == 0 {
 		return fmt.Errorf("core: empty block destination: %w", ErrBadInput)
@@ -290,17 +337,19 @@ func (g *RealTimeGenerator) GenerateBlocksInto(dst []*Block, workers int) error 
 			return fmt.Errorf("core: nil destination block %d: %w", i, ErrBadInput)
 		}
 	}
-	// Split all streams up front, in block order: this is what pins the
-	// output regardless of scheduling.
+	// Derive all streams up front, in block order from the frozen batch root:
+	// this is what pins the output regardless of scheduling, and what keeps
+	// the sequence random-access (GenerateBlockAt reproduces any position).
 	blockRngs := make([][]*randx.RNG, len(dst))
 	for i := range dst {
-		root := g.batchRoot.Split()
+		root := g.batchRoot.SplitAt(g.batchNext + uint64(i))
 		rs := make([]*randx.RNG, g.n)
 		for j := range rs {
 			rs[j] = root.Split()
 		}
 		blockRngs[i] = rs
 	}
+	g.batchNext += uint64(len(dst))
 	if workers > len(dst) {
 		workers = len(dst)
 	}

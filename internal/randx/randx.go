@@ -40,6 +40,42 @@ func (r *RNG) Split() *RNG {
 	return New(r.src.Int63())
 }
 
+// SplitSeed draws the seed the next Split call would use, advancing this RNG
+// exactly as Split does but without allocating a child. Reseed(r.SplitSeed())
+// on a reusable RNG reproduces Split allocation-free.
+func (r *RNG) SplitSeed() int64 {
+	return r.src.Int63()
+}
+
+// SplitSeedAt returns the seed of the (i+1)-th consecutive Split (or
+// SplitSeed) call on this RNG without advancing it: an O(1) random-access
+// view of the split sequence. It is only meaningful on an RNG used purely as
+// a split root — any interleaved sampling call would consume the same
+// underlying splitmix64 outputs the formula indexes.
+func (r *RNG) SplitSeedAt(i uint64) int64 {
+	// The i-th split consumes the i-th splitmix64 output: one additive state
+	// step plus the mix permutation, both reproducible from the frozen state.
+	z := r.sm.state + (i+1)*splitmixGamma
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64((z ^ (z >> 31)) >> 1)
+}
+
+// SplitAt returns the RNG the (i+1)-th consecutive Split call on this RNG
+// would produce, without advancing it (see SplitSeedAt for the root-only
+// caveat). Resumable streams derive block k's generator directly instead of
+// replaying k splits.
+func (r *RNG) SplitAt(i uint64) *RNG {
+	return New(r.SplitSeedAt(i))
+}
+
+// Reseed resets the RNG in place to the state New(seed) would construct,
+// without allocating. It lets long-running services reuse per-worker RNGs
+// across deterministic work items.
+func (r *RNG) Reseed(seed int64) {
+	r.src.Seed(seed)
+}
+
 // splitmix64 is a tiny O(1)-construction Source64 (Steele, Lea & Flood,
 // "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014). The
 // default math/rand source pays a 607-word seeding pass on construction
@@ -47,8 +83,12 @@ func (r *RNG) Split() *RNG {
 // stream per chunk of work; splitmix64 construction is two words.
 type splitmix64 struct{ state uint64 }
 
+// splitmixGamma is the additive state step of splitmix64; SplitSeedAt relies
+// on state_n = state_0 + n·gamma to index the output sequence in O(1).
+const splitmixGamma = 0x9e3779b97f4a7c15
+
 func (s *splitmix64) Uint64() uint64 {
-	s.state += 0x9e3779b97f4a7c15
+	s.state += splitmixGamma
 	z := s.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

@@ -1,0 +1,83 @@
+package randx
+
+import "testing"
+
+// TestSplitAtMatchesSequentialSplits pins the contract the resumable block
+// streams depend on: SplitAt(i) on a frozen root reproduces the (i+1)-th
+// consecutive Split call exactly.
+func TestSplitAtMatchesSequentialSplits(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		sequential := New(seed)
+		frozen := New(seed)
+		for i := uint64(0); i < 33; i++ {
+			want := sequential.Split()
+			got := frozen.SplitAt(i)
+			for k := 0; k < 8; k++ {
+				w, g := want.Float64(), got.Float64()
+				if w != g {
+					t.Fatalf("seed %d split %d draw %d: SplitAt = %v, sequential Split = %v", seed, i, k, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitSeedMatchesSplit checks that Reseed(SplitSeed()) reproduces Split
+// on a reused RNG, the allocation-free path of the service hot loop.
+func TestSplitSeedMatchesSplit(t *testing.T) {
+	a := New(99)
+	b := New(99)
+	reusable := New(0)
+	for i := 0; i < 16; i++ {
+		want := a.Split()
+		reusable.Reseed(b.SplitSeed())
+		for k := 0; k < 8; k++ {
+			if w, g := want.Normal(0, 1), reusable.Normal(0, 1); w != g {
+				t.Fatalf("split %d draw %d: reseeded = %v, split = %v", i, k, g, w)
+			}
+		}
+	}
+}
+
+// TestReseedMatchesNew checks Reseed resets every draw path, including the
+// ziggurat and the stdlib wrapper state.
+func TestReseedMatchesNew(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		r.Normal(0, 1)
+		r.Float64()
+	}
+	r.Reseed(1234)
+	fresh := New(1234)
+	for i := 0; i < 64; i++ {
+		if w, g := fresh.Normal(0, 1), r.Normal(0, 1); w != g {
+			t.Fatalf("normal draw %d: reseeded = %v, fresh = %v", i, g, w)
+		}
+		if w, g := fresh.Float64(), r.Float64(); w != g {
+			t.Fatalf("uniform draw %d: reseeded = %v, fresh = %v", i, g, w)
+		}
+	}
+}
+
+// TestSplitAtDoesNotAdvanceParent verifies SplitAt is a pure read.
+func TestSplitAtDoesNotAdvanceParent(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := uint64(0); i < 10; i++ {
+		a.SplitAt(i)
+	}
+	for k := 0; k < 16; k++ {
+		if w, g := b.Float64(), a.Float64(); w != g {
+			t.Fatalf("draw %d after SplitAt calls: got %v, want %v", k, g, w)
+		}
+	}
+}
+
+func BenchmarkSplitSeedAt(b *testing.B) {
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r.SplitSeedAt(uint64(i))
+	}
+	_ = sink
+}

@@ -1,114 +1,13 @@
 package scenario
 
 import (
-	"fmt"
-	"math"
-
+	"repro/internal/chanspec"
 	"repro/internal/cmplxmat"
-	"repro/internal/corrmodel"
 )
 
-// Eq22Covariance returns the paper's Eq. (22) covariance matrix: three
-// carriers 200 kHz apart with millisecond arrival delays in a 50 Hz Doppler,
-// 1 μs delay-spread channel (Section 6).
+// Eq22Covariance returns the paper's Eq. (22) covariance matrix (Section 6).
+// It lives in chanspec so the streaming service shares it; re-exported here
+// for the harness's callers.
 func Eq22Covariance() *cmplxmat.Matrix {
-	return cmplxmat.MustFromRows([][]complex128{
-		{1, 0.3782 + 0.4753i, 0.0878 + 0.2207i},
-		{0.3782 - 0.4753i, 1, 0.3063 + 0.3849i},
-		{0.0878 - 0.2207i, 0.3063 - 0.3849i, 1},
-	})
-}
-
-// Build assembles the covariance matrix the model describes. The matrix is
-// the generation target before positive semi-definiteness forcing; it may be
-// indefinite on purpose (constant model with strongly negative ρ).
-func (m *ModelSpec) Build() (*cmplxmat.Matrix, error) {
-	if err := m.validate(); err != nil {
-		return nil, err
-	}
-	power := m.Power
-	if power == 0 {
-		power = 1
-	}
-	switch m.Type {
-	case ModelEq22:
-		return Eq22Covariance(), nil
-
-	case ModelIdentity:
-		k := cmplxmat.New(m.N, m.N)
-		for i := 0; i < m.N; i++ {
-			k.Set(i, i, complex(power, 0))
-		}
-		return k, nil
-
-	case ModelExplicit:
-		rows := make([][]complex128, len(m.Covariance))
-		for i, row := range m.Covariance {
-			rows[i] = make([]complex128, len(row))
-			for j, v := range row {
-				rows[i][j] = complex128(v)
-			}
-		}
-		k, err := cmplxmat.FromRows(rows)
-		if err != nil {
-			return nil, fmt.Errorf("scenario: explicit covariance: %w", err)
-		}
-		return k, nil
-
-	case ModelExponential:
-		model := &corrmodel.ExponentialModel{N: m.N, Rho: m.Rho, PhaseRad: m.PhaseRad, Power: power}
-		res, err := model.Covariance()
-		if err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-		return res.Matrix, nil
-
-	case ModelConstant:
-		model := &corrmodel.ConstantModel{N: m.N, Rho: m.Rho, Power: power}
-		res, err := model.Covariance()
-		if err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-		return res.Matrix, nil
-
-	case ModelSpectral:
-		delays := make([][]float64, m.N)
-		for i := range delays {
-			delays[i] = make([]float64, m.N)
-			for j := range delays[i] {
-				delays[i][j] = math.Abs(float64(i-j)) * m.DelayStepS
-			}
-		}
-		model, err := corrmodel.NewUniformSpectral(corrmodel.UniformSpectralParams{
-			N:                m.N,
-			CarrierSpacingHz: m.CarrierSpacingHz,
-			MaxDopplerHz:     m.MaxDopplerHz,
-			RMSDelaySpread:   m.RMSDelaySpreadS,
-			Power:            power,
-			PairDelays:       delays,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-		res, err := model.Covariance()
-		if err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-		return res.Matrix, nil
-
-	case ModelSpatial:
-		model := &corrmodel.SpatialModel{
-			N:                  m.N,
-			SpacingWavelengths: m.SpacingWavelengths,
-			AngularSpread:      m.AngularSpreadRad,
-			MeanAngle:          m.MeanAngleRad,
-			Power:              power,
-		}
-		res, err := model.Covariance()
-		if err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-		return res.Matrix, nil
-	}
-	return nil, fmt.Errorf("scenario: unknown model type %q: %w", m.Type, ErrBadSpec)
+	return chanspec.Eq22Covariance()
 }

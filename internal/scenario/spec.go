@@ -16,13 +16,15 @@
 package scenario
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
+
+	"repro/internal/chanspec"
 )
 
-// ErrBadSpec reports an invalid scenario specification.
-var ErrBadSpec = errors.New("scenario: invalid spec")
+// ErrBadSpec reports an invalid scenario specification. It is the shared
+// chanspec sentinel, so model errors and spec errors match the same
+// errors.Is target.
+var ErrBadSpec = chanspec.ErrBadSpec
 
 // Generation modes.
 const (
@@ -38,28 +40,25 @@ const (
 	ModeRealtime = "realtime"
 )
 
-// Model types.
+// Model types, re-exported from the shared chanspec vocabulary (the fadingd
+// service speaks the same model language; see internal/chanspec).
 const (
-	// ModelEq22 is the literal N = 3 covariance matrix the paper prints as
-	// Eq. (22) — the spectral-correlation example evaluated in Section 6.
-	ModelEq22 = "eq22"
-	// ModelIdentity is the N×N identity covariance (uncorrelated envelopes).
-	ModelIdentity = "identity"
-	// ModelExplicit supplies the covariance matrix entry by entry, each
-	// complex value as a [re, im] pair (bare numbers are accepted as reals).
-	ModelExplicit = "explicit"
-	// ModelExponential is ρ^|k−j| with an optional per-step phase rotation.
-	ModelExponential = "exponential"
-	// ModelConstant gives every distinct pair the same real correlation ρ;
-	// ρ < −1/(N−1) yields an indefinite matrix, the paper's E6 stress case.
-	ModelConstant = "constant"
-	// ModelSpectral is the Jakes spectral model of Section 2 (Eq. (3)–(4))
-	// over N carriers at uniform spacing with τ_{k,j} = |k−j|·DelayStepS.
-	ModelSpectral = "spectral"
-	// ModelSpatial is the Salz–Winters spatial model of Section 3
-	// (Eq. (5)–(7)) for a uniform linear array.
-	ModelSpatial = "spatial"
+	ModelEq22        = chanspec.ModelEq22
+	ModelIdentity    = chanspec.ModelIdentity
+	ModelExplicit    = chanspec.ModelExplicit
+	ModelExponential = chanspec.ModelExponential
+	ModelConstant    = chanspec.ModelConstant
+	ModelSpectral    = chanspec.ModelSpectral
+	ModelSpatial     = chanspec.ModelSpatial
 )
+
+// ModelSpec parameterizes a correlation model; it is the shared
+// chanspec.Model, extracted so scenarios and the streaming service share one
+// builder.
+type ModelSpec = chanspec.Model
+
+// Complex is the shared [re, im] JSON complex type.
+type Complex = chanspec.Complex
 
 // Assertion types.
 const (
@@ -113,39 +112,6 @@ type Spec struct {
 	// Assertions is the gate list; every assertion must pass for the
 	// scenario to pass. Order is preserved in reports.
 	Assertions []AssertionSpec `json:"assertions"`
-}
-
-// ModelSpec parameterizes a correlation model. Type selects the model; the
-// other fields are read per type as documented on the Model* constants and
-// in docs/scenarios.md.
-type ModelSpec struct {
-	Type string `json:"type"`
-	// N is the number of envelopes (identity, exponential, constant,
-	// spectral, spatial). Eq22 is fixed at 3; explicit infers N from the
-	// covariance rows.
-	N int `json:"n,omitempty"`
-	// Power is the common Gaussian power σ²; zero selects 1.
-	Power float64 `json:"power,omitempty"`
-	// Rho is the correlation magnitude of the exponential and constant
-	// models.
-	Rho float64 `json:"rho,omitempty"`
-	// PhaseRad rotates each adjacent exponential pair, producing complex
-	// covariances.
-	PhaseRad float64 `json:"phase_rad,omitempty"`
-	// Covariance is the explicit model's matrix, row by row.
-	Covariance [][]Complex `json:"covariance,omitempty"`
-	// CarrierSpacingHz, MaxDopplerHz, RMSDelaySpreadS, DelayStepS are the
-	// spectral model parameters: N carriers at uniform spacing, pairwise
-	// arrival delays τ_{k,j} = |k−j|·DelayStepS.
-	CarrierSpacingHz float64 `json:"carrier_spacing_hz,omitempty"`
-	MaxDopplerHz     float64 `json:"max_doppler_hz,omitempty"`
-	RMSDelaySpreadS  float64 `json:"rms_delay_spread_s,omitempty"`
-	DelayStepS       float64 `json:"delay_step_s,omitempty"`
-	// SpacingWavelengths, AngularSpreadRad, MeanAngleRad are the spatial
-	// model parameters (D/λ, Δ, Φ).
-	SpacingWavelengths float64 `json:"spacing_wavelengths,omitempty"`
-	AngularSpreadRad   float64 `json:"angular_spread_rad,omitempty"`
-	MeanAngleRad       float64 `json:"mean_angle_rad,omitempty"`
 }
 
 // GenerationSpec selects the generation mode and sizes.
@@ -234,30 +200,6 @@ type AssertionSpec struct {
 	Units int `json:"units,omitempty"`
 }
 
-// Complex is a complex128 that marshals as the two-element JSON array
-// [re, im]; bare JSON numbers are accepted as purely real values.
-type Complex complex128
-
-// MarshalJSON implements json.Marshaler.
-func (c Complex) MarshalJSON() ([]byte, error) {
-	return json.Marshal([2]float64{real(complex128(c)), imag(complex128(c))})
-}
-
-// UnmarshalJSON implements json.Unmarshaler.
-func (c *Complex) UnmarshalJSON(b []byte) error {
-	var pair [2]float64
-	if err := json.Unmarshal(b, &pair); err == nil {
-		*c = Complex(complex(pair[0], pair[1]))
-		return nil
-	}
-	var re float64
-	if err := json.Unmarshal(b, &re); err == nil {
-		*c = Complex(complex(re, 0))
-		return nil
-	}
-	return fmt.Errorf("scenario: complex value must be [re, im] or a number, got %s: %w", b, ErrBadSpec)
-}
-
 // Validate checks the spec for structural consistency: required fields,
 // known model/mode/assertion types, and mode-compatibility of every
 // assertion. It does not touch the random streams.
@@ -265,7 +207,7 @@ func (s *Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("scenario: spec has no name: %w", ErrBadSpec)
 	}
-	if err := s.Model.validate(); err != nil {
+	if err := s.Model.Validate(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	if err := s.Generation.validate(); err != nil {
@@ -278,34 +220,6 @@ func (s *Spec) Validate() error {
 		if err := s.Assertions[i].validate(s.Generation.Mode); err != nil {
 			return fmt.Errorf("scenario %q assertion %d: %w", s.Name, i, err)
 		}
-	}
-	return nil
-}
-
-func (m *ModelSpec) validate() error {
-	switch m.Type {
-	case ModelEq22:
-		if m.N != 0 && m.N != 3 {
-			return fmt.Errorf("eq22 model is fixed at N = 3, got n = %d: %w", m.N, ErrBadSpec)
-		}
-	case ModelIdentity, ModelExponential, ModelConstant, ModelSpectral, ModelSpatial:
-		if m.N <= 0 {
-			return fmt.Errorf("model %q needs n > 0: %w", m.Type, ErrBadSpec)
-		}
-	case ModelExplicit:
-		if len(m.Covariance) == 0 {
-			return fmt.Errorf("explicit model needs a covariance matrix: %w", ErrBadSpec)
-		}
-		for i, row := range m.Covariance {
-			if len(row) != len(m.Covariance) {
-				return fmt.Errorf("explicit covariance row %d has %d entries, want %d: %w",
-					i, len(row), len(m.Covariance), ErrBadSpec)
-			}
-		}
-	case "":
-		return fmt.Errorf("model has no type: %w", ErrBadSpec)
-	default:
-		return fmt.Errorf("unknown model type %q: %w", m.Type, ErrBadSpec)
 	}
 	return nil
 }

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrSessionLimit reports that the session table is full.
+var ErrSessionLimit = errors.New("service: session limit reached")
+
+// Manager owns the session table: creation against a capacity cap, lookup
+// with TTL touching, explicit deletion, and idle eviction. All methods are
+// safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	ttl      time.Duration
+	max      int
+	freeList int
+	now      func() time.Time
+	metrics  *metrics
+}
+
+// newManager builds a Manager. now is injectable for eviction tests.
+func newManager(ttl time.Duration, max, freeList int, now func() time.Time, m *metrics) *Manager {
+	return &Manager{
+		sessions: make(map[string]*Session),
+		ttl:      ttl,
+		max:      max,
+		freeList: freeList,
+		now:      now,
+		metrics:  m,
+	}
+}
+
+// Create validates nothing — the caller parses and validates the spec — and
+// builds plus registers a session.
+func (m *Manager) Create(spec *SessionSpec) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.max > 0 && len(m.sessions) >= m.max {
+		return nil, fmt.Errorf("%w (%d active)", ErrSessionLimit, len(m.sessions))
+	}
+	s, err := newSession(spec, m.freeList, m.now())
+	if err != nil {
+		return nil, err
+	}
+	m.sessions[s.ID] = s
+	m.metrics.sessionsCreated.Add(1)
+	return s, nil
+}
+
+// Get returns the session and marks it active.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	s.touch(m.now())
+	return s, true
+}
+
+// Delete removes and closes a session, terminating its in-flight streams.
+func (m *Manager) Delete(id string) bool {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.close()
+	m.metrics.sessionsDeleted.Add(1)
+	return true
+}
+
+// Sweep evicts every session idle longer than the TTL and returns how many
+// it removed. In-flight streams of an evicted session terminate at their
+// next block boundary.
+func (m *Manager) Sweep() int {
+	now := m.now()
+	var victims []*Session
+	m.mu.Lock()
+	for id, s := range m.sessions {
+		if s.idle(now) > m.ttl {
+			delete(m.sessions, id)
+			victims = append(victims, s)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range victims {
+		s.close()
+	}
+	m.metrics.sessionsEvicted.Add(int64(len(victims)))
+	return len(victims)
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// CloseAll empties the table, terminating every stream (shutdown path).
+func (m *Manager) CloseAll() {
+	m.mu.Lock()
+	victims := make([]*Session, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		delete(m.sessions, id)
+		victims = append(victims, s)
+	}
+	m.mu.Unlock()
+	for _, s := range victims {
+		s.close()
+	}
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed reports a submit after shutdown began.
+var ErrPoolClosed = errors.New("service: worker pool closed")
+
+// errSessionClosed reports a stream aborted by session eviction/deletion.
+var errSessionClosed = errors.New("service: session closed")
+
+// pool is the bounded worker pool sharding block generation across sessions.
+// The queue bound is the backpressure mechanism: when every worker is busy
+// and the queue is full, submit blocks the *handler* goroutine (one stream
+// slows down) while workers keep draining — a slow consumer can idle its own
+// stream but never a generator, because completed work is handed off through
+// per-job channels that never block (see blockJob.run).
+type pool struct {
+	jobs chan *blockJob
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// newPool starts workers goroutines behind a queue of the given depth.
+func newPool(workers, depth int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = workers
+	}
+	p := &pool{
+		jobs: make(chan *blockJob, depth),
+		done: make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case j := <-p.jobs:
+					j.run()
+				case <-p.done:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues j, blocking while the queue is full. It aborts with the
+// corresponding error when the request context ends, the session dies, or
+// the pool shuts down. Jobs are typed (not closures) so the steady-state
+// serving path allocates nothing per block.
+func (p *pool) submit(ctx context.Context, sessionDone <-chan struct{}, j *blockJob) error {
+	select {
+	case <-p.done:
+		return ErrPoolClosed
+	default:
+	}
+	select {
+	case p.jobs <- j:
+		return nil
+	case <-p.done:
+		return ErrPoolClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-sessionDone:
+		return errSessionClosed
+	}
+}
+
+// queueDepth reports how many submitted jobs are waiting for a worker.
+func (p *pool) queueDepth() int { return len(p.jobs) }
+
+// close stops the workers. Jobs still queued are dropped, which is safe
+// because every waiter on a job also watches a shutdown or context signal.
+func (p *pool) close() {
+	p.once.Do(func() { close(p.done) })
+	p.wg.Wait()
+}

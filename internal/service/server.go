@@ -1,0 +1,355 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config tunes a Server; every zero field selects its default. Capacity
+// guidance lives in docs/service.md.
+type Config struct {
+	// Workers is the size of the shared generation pool. Default
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the pool's job queue — the global backpressure
+	// valve. Default 2×Workers.
+	QueueDepth int
+	// Window is the per-stream budget of in-flight blocks (the bounded
+	// per-session queue): a stream keeps at most Window generation jobs
+	// outstanding, so a slow reader ties up at most Window block buffers and
+	// zero workers. Default 4.
+	Window int
+	// SessionTTL evicts sessions idle longer than this. Default 5m.
+	SessionTTL time.Duration
+	// SweepInterval is the eviction cadence. Default SessionTTL/4.
+	SweepInterval time.Duration
+	// MaxSessions caps the session table. Default 256.
+	MaxSessions int
+	// Limits bounds what one spec may request.
+	Limits Limits
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.Window == 0 {
+		c.Window = 4
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = c.SessionTTL / 4
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	c.Limits = c.Limits.withDefaults()
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Server is the fadingd HTTP service: a session manager, a bounded worker
+// pool, and the handlers tying them together. Create one with New, mount
+// Handler on an http.Server, and call Close after the http.Server has shut
+// down.
+type Server struct {
+	cfg      Config
+	manager  *Manager
+	pool     *pool
+	metrics  *metrics
+	mux      *http.ServeMux
+	shutdown chan struct{}
+	once     sync.Once
+	janitor  sync.WaitGroup
+}
+
+// New builds and starts a Server (the janitor and worker goroutines run
+// until Close).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := &metrics{start: cfg.now()}
+	s := &Server{
+		cfg: cfg,
+		// Free lists sized to the worker count keep a fully fanned-out
+		// session recycling instead of allocating.
+		manager:  newManager(cfg.SessionTTL, cfg.MaxSessions, cfg.Workers+cfg.Window, cfg.now, m),
+		pool:     newPool(cfg.Workers, cfg.QueueDepth),
+		metrics:  m,
+		mux:      http.NewServeMux(),
+		shutdown: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.janitor.Add(1)
+	go s.runJanitor()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginShutdown signals every in-flight stream to terminate at its next
+// block boundary without tearing anything else down. Graceful shutdown is
+// BeginShutdown → http.Server.Shutdown (which can now complete, since the
+// streaming handlers return) → Close.
+func (s *Server) BeginShutdown() {
+	s.once.Do(func() { close(s.shutdown) })
+}
+
+// Close terminates every session and stream, stops the janitor and drains
+// the worker pool. Call it after the enclosing http.Server has finished
+// shutting down.
+func (s *Server) Close() {
+	s.BeginShutdown()
+	s.manager.CloseAll()
+	s.janitor.Wait()
+	s.pool.close()
+}
+
+// runJanitor evicts idle sessions until shutdown.
+func (s *Server) runJanitor() {
+	defer s.janitor.Done()
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.manager.Sweep()
+		case <-s.shutdown:
+			return
+		}
+	}
+}
+
+// sessionInfo is the JSON shape of create and info responses.
+type sessionInfo struct {
+	ID string `json:"id"`
+	// N and BlockLength describe the stream geometry; Blocks its total
+	// length.
+	N           int `json:"n"`
+	BlockLength int `json:"block_length"`
+	Blocks      int `json:"blocks"`
+	// ClampedEigenvalues and ForcingError echo the PSD forcing applied to
+	// the requested covariance (see Diagnostics in the library API).
+	ClampedEigenvalues int     `json:"clamped_eigenvalues"`
+	ForcingError       float64 `json:"forcing_frobenius_error"`
+	// Spec echoes the accepted session spec.
+	Spec json.RawMessage `json:"spec"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	spec, err := ParseSpec(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err == nil {
+		err = spec.Validate(s.cfg.Limits)
+	}
+	if err != nil {
+		s.metrics.specsRejected.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.manager.Create(spec)
+	if err != nil {
+		s.metrics.specsRejected.Add(1)
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrSessionLimit) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, s.info(sess))
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown session"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, s.info(sess))
+}
+
+func (s *Server) info(sess *Session) sessionInfo {
+	diag := sess.stream.Diagnostics()
+	return sessionInfo{
+		ID:                 sess.ID,
+		N:                  sess.N(),
+		BlockLength:        sess.BlockLength(),
+		Blocks:             int(sess.Blocks()),
+		ClampedEigenvalues: diag.ClampedEigenvalues,
+		ForcingError:       diag.ApproximationError,
+		Spec:               sess.Spec.canonical(),
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.manager.Delete(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown session"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"sessions": s.manager.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s.manager.Len(), s.pool.queueDepth(), s.cfg.now())
+}
+
+// handleStream serves blocks [from, from+count) of a session as NDJSON or
+// binary frames, flushing after every block. Block generation is pipelined
+// through the shared pool with a window of in-flight jobs; blocks are
+// written strictly in order, so the concatenated payload of any combination
+// of resumed ranges is byte-identical to one from-0 pass.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown session"))
+		return
+	}
+	q := r.URL.Query()
+	from := uint64(0)
+	if v := q.Get("from"); v != "" {
+		parsed, err := strconv.ParseUint(v, 10, 63)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad from %q: %w", v, ErrBadSpec))
+			return
+		}
+		from = parsed
+	}
+	if from >= sess.Blocks() {
+		// Resuming at or past end-of-stream: the stream is finite and fully
+		// consumed, which is a range error, not an empty success.
+		writeError(w, http.StatusRequestedRangeNotSatisfiable,
+			fmt.Errorf("service: from=%d past end of %d-block stream", from, sess.Blocks()))
+		return
+	}
+	end := sess.Blocks()
+	if v := q.Get("count"); v != "" {
+		parsed, err := strconv.ParseUint(v, 10, 63)
+		if err != nil || parsed == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad count %q: %w", v, ErrBadSpec))
+			return
+		}
+		if from+parsed < end {
+			end = from + parsed
+		}
+	}
+	format := q.Get("format")
+	switch format {
+	case "", FormatNDJSON:
+		format = FormatNDJSON
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	case FormatBinary:
+		w.Header().Set("Content-Type", "application/octet-stream")
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: unknown format %q: %w", format, ErrBadSpec))
+		return
+	}
+	gaussian := q.Get("gaussian") == "1"
+
+	w.Header().Set("X-Fadingd-Session", sess.ID)
+	w.Header().Set("X-Fadingd-From", strconv.FormatUint(from, 10))
+	w.Header().Set("X-Fadingd-Blocks", strconv.FormatUint(end-from, 10))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	s.metrics.streamsStarted.Add(1)
+	s.metrics.activeStreams.Add(1)
+	defer s.metrics.activeStreams.Add(-1)
+
+	enc := newFrameEncoder(format)
+	ctx := r.Context()
+	// pending is the stream's in-flight window, oldest first. Jobs complete
+	// in any order on the pool; writing consumes them strictly in order.
+	pending := make([]*blockJob, 0, s.cfg.Window)
+	next := from
+	for next < end || len(pending) > 0 {
+		for len(pending) < s.cfg.Window && next < end {
+			job := sess.acquireJob()
+			job.index = next
+			if err := s.pool.submit(ctx, sess.done, job); err != nil {
+				// Not submitted: the job is clean, recycle it and stop.
+				sess.releaseJob(job)
+				return
+			}
+			pending = append(pending, job)
+			next++
+		}
+		job := pending[0]
+		select {
+		case <-job.ready:
+		case <-ctx.Done():
+			return // abandon in-flight jobs; workers never block on them
+		case <-sess.done:
+			return // eviction mid-stream
+		case <-s.shutdown:
+			return
+		}
+		pending = pending[1:]
+		if job.err != nil {
+			// Headers are long gone; the only honest signal mid-stream is
+			// truncation.
+			return
+		}
+		bytes, err := enc.encode(w, job.index, job.block, gaussian)
+		s.metrics.bytesWritten.Add(int64(bytes))
+		if err != nil {
+			return
+		}
+		s.metrics.blocksServed.Add(1)
+		s.metrics.samplesServed.Add(int64(sess.N() * sess.BlockLength()))
+		sess.touch(s.cfg.now())
+		sess.releaseJob(job)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// writeError sends a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSON(w, map[string]string{"error": err.Error()})
+}
+
+// writeJSON encodes v, ignoring write errors (the client is gone).
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// Manager exposes the session table (tests and operational tooling).
+func (s *Server) Manager() *Manager { return s.manager }

@@ -1,0 +1,446 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testSpec is the session spec the wire tests share: small enough to stream
+// in milliseconds, complex-valued covariance to exercise full frames.
+const testSpec = `{
+	"model": {"type": "eq22"},
+	"seed": 4242,
+	"blocks": 8,
+	"idft_points": 64
+}`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// createSession POSTs spec and returns the decoded info response.
+func createSession(t *testing.T, base, spec string) sessionInfo {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("POST /v1/sessions: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/sessions: status %d, body %s", resp.StatusCode, body)
+	}
+	var info sessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("decode session info: %v", err)
+	}
+	return info
+}
+
+// fetchStream GETs a stream and returns status plus raw payload bytes.
+func fetchStream(t *testing.T, base, id, params string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/sessions/" + id + "/stream" + params)
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestWireDeterminism is the release gate in unit-test form: for a fixed
+// spec, the concatenated payload must be byte-identical across server worker
+// counts and across any resume point, in both formats.
+func TestWireDeterminism(t *testing.T) {
+	_, one := newTestServer(t, Config{Workers: 1, Window: 2})
+	_, four := newTestServer(t, Config{Workers: 4, Window: 3})
+
+	for _, format := range []string{FormatNDJSON, FormatBinary} {
+		idOne := createSession(t, one.URL, testSpec).ID
+		idFour := createSession(t, four.URL, testSpec).ID
+
+		status, fullOne := fetchStream(t, one.URL, idOne, "?format="+format)
+		if status != http.StatusOK {
+			t.Fatalf("[%s] full stream (1 worker): status %d", format, status)
+		}
+		status, fullFour := fetchStream(t, four.URL, idFour, "?format="+format)
+		if status != http.StatusOK {
+			t.Fatalf("[%s] full stream (4 workers): status %d", format, status)
+		}
+		if !bytes.Equal(fullOne, fullFour) {
+			t.Fatalf("[%s] payload differs between 1-worker and 4-worker servers", format)
+		}
+
+		// Resume at every split point: head ++ tail must equal the full pass.
+		for from := 1; from < 8; from++ {
+			_, head := fetchStream(t, four.URL, idFour, fmt.Sprintf("?format=%s&count=%d", format, from))
+			status, tail := fetchStream(t, four.URL, idFour, fmt.Sprintf("?format=%s&from=%d", format, from))
+			if status != http.StatusOK {
+				t.Fatalf("[%s] resume from=%d: status %d", format, from, status)
+			}
+			if !bytes.Equal(append(head, tail...), fullFour) {
+				t.Fatalf("[%s] resume from=%d: head+tail != full stream", format, from)
+			}
+		}
+	}
+}
+
+// TestConcurrentStreamsShareOneSession hammers a single session from many
+// goroutines at different offsets; every reader must see the same bytes.
+// Run under -race in CI this also proves the serving path is data-race free.
+func TestConcurrentStreamsShareOneSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, Window: 2, QueueDepth: 4})
+	id := createSession(t, ts.URL, testSpec).ID
+	_, full := fetchStream(t, ts.URL, id, "?format=bin")
+
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			from := g % 8
+			resp, err := http.Get(fmt.Sprintf("%s/v1/sessions/%s/stream?format=bin&from=%d", ts.URL, id, from))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			// Compare against the tail of the full pass: each binary frame of
+			// this spec has fixed size, so offsets are computable.
+			frameSize := len(full) / 8
+			if !bytes.Equal(body, full[from*frameSize:]) {
+				errs[g] = fmt.Errorf("reader %d (from=%d) diverged", g, from)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestNDJSONBinaryEquivalence decodes both formats and compares values
+// bit for bit (JSON float64 round-trips exactly through Go's shortest-form
+// encoder).
+func TestNDJSONBinaryEquivalence(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	id := createSession(t, ts.URL, testSpec).ID
+
+	_, ndjson := fetchStream(t, ts.URL, id, "?format=ndjson&gaussian=1")
+	_, bin := fetchStream(t, ts.URL, id, "?format=bin&gaussian=1")
+
+	binReader := bytes.NewReader(bin)
+	scanner := bufio.NewScanner(bytes.NewReader(ndjson))
+	scanner.Buffer(nil, 1<<24)
+	blocks := 0
+	for scanner.Scan() {
+		var rec struct {
+			Block     uint64         `json:"block"`
+			Envelopes [][]float64    `json:"envelopes"`
+			Gaussian  [][][2]float64 `json:"gaussian"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			t.Fatalf("block %d: bad NDJSON: %v", blocks, err)
+		}
+		index, envelopes, gaussian, err := DecodeBinaryFrame(binReader)
+		if err != nil {
+			t.Fatalf("block %d: bad binary frame: %v", blocks, err)
+		}
+		if index != rec.Block {
+			t.Fatalf("block %d: ndjson index %d, binary index %d", blocks, rec.Block, index)
+		}
+		if len(envelopes) != len(rec.Envelopes) {
+			t.Fatalf("block %d: row count mismatch", blocks)
+		}
+		for j := range envelopes {
+			for l := range envelopes[j] {
+				if envelopes[j][l] != rec.Envelopes[j][l] {
+					t.Fatalf("block %d envelope %d sample %d: binary %v != ndjson %v",
+						blocks, j, l, envelopes[j][l], rec.Envelopes[j][l])
+				}
+				if re, im := real(gaussian[j][l]), imag(gaussian[j][l]); re != rec.Gaussian[j][l][0] || im != rec.Gaussian[j][l][1] {
+					t.Fatalf("block %d gaussian %d sample %d differs between formats", blocks, j, l)
+				}
+			}
+		}
+		blocks++
+	}
+	if blocks != 8 {
+		t.Fatalf("decoded %d blocks, want 8", blocks)
+	}
+	if _, _, _, err := DecodeBinaryFrame(binReader); err != io.EOF {
+		t.Fatalf("binary stream has trailing data (err %v)", err)
+	}
+}
+
+// TestResumePastEndOfStream pins the finite-stream contract.
+func TestResumePastEndOfStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, testSpec).ID
+	for _, from := range []int{8, 9, 1000} {
+		status, body := fetchStream(t, ts.URL, id, fmt.Sprintf("?from=%d", from))
+		if status != http.StatusRequestedRangeNotSatisfiable {
+			t.Fatalf("from=%d: status %d (body %s), want 416", from, status, body)
+		}
+	}
+	// The last valid position still works.
+	status, body := fetchStream(t, ts.URL, id, "?from=7")
+	if status != http.StatusOK || len(bytes.TrimSpace(body)) == 0 {
+		t.Fatalf("from=7: status %d, %d payload bytes", status, len(body))
+	}
+}
+
+// TestMalformedSpecsRejected mirrors the scenario loader's strictness over
+// the wire: unknown fields, unknown models, and over-limit requests are all
+// 400s, and none of them leak a session.
+func TestMalformedSpecsRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{Limits: Limits{MaxBlocks: 100, MaxEnvelopes: 8}})
+	cases := map[string]string{
+		"unknown top-level field": `{"model": {"type": "eq22"}, "seed": 1, "blocks": 4, "bogus": true}`,
+		"unknown model field":     `{"model": {"type": "eq22", "typo": 3}, "seed": 1, "blocks": 4}`,
+		"unknown model type":      `{"model": {"type": "warp"}, "seed": 1, "blocks": 4}`,
+		"missing model":           `{"seed": 1, "blocks": 4}`,
+		"zero blocks":             `{"model": {"type": "eq22"}, "seed": 1}`,
+		"blocks over limit":       `{"model": {"type": "eq22"}, "seed": 1, "blocks": 101}`,
+		"envelopes over limit":    `{"model": {"type": "identity", "n": 9}, "seed": 1, "blocks": 4}`,
+		"bad doppler":             `{"model": {"type": "eq22"}, "seed": 1, "blocks": 4, "normalized_doppler": 0.7}`,
+		"trailing garbage":        `{"model": {"type": "eq22"}, "seed": 1, "blocks": 4} {"again": true}`,
+		"not json":                `hello`,
+	}
+	for name, spec := range cases {
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (body %s), want 400", name, resp.StatusCode, body)
+		}
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error == "" {
+			t.Errorf("%s: error envelope missing (body %s)", name, body)
+		}
+	}
+	if n := s.Manager().Len(); n != 0 {
+		t.Fatalf("%d sessions leaked by rejected specs", n)
+	}
+	if got := s.metrics.specsRejected.Load(); got != int64(len(cases)) {
+		t.Fatalf("specs_rejected = %d, want %d", got, len(cases))
+	}
+}
+
+// TestEvictionMidStream deletes a session while a client is mid-read: the
+// stream must terminate promptly (truncated, not hung), and the session must
+// be gone afterwards.
+func TestEvictionMidStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, Window: 2})
+	spec := `{"model": {"type": "eq22"}, "seed": 7, "blocks": 100000, "idft_points": 256}`
+	id := createSession(t, ts.URL, spec).ID
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/stream?format=bin")
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	defer resp.Body.Close()
+	// Consume one frame to prove the stream is live, then evict.
+	if _, _, _, err := DecodeBinaryFrame(resp.Body); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if !s.Manager().Delete(id) {
+		t.Fatal("Delete returned false for a live session")
+	}
+	// The remainder must end (truncation is fine, hanging is the bug).
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, resp.Body)
+		done <- err
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not terminate after eviction")
+	}
+	status, _ := fetchStream(t, ts.URL, id, "")
+	if status != http.StatusNotFound {
+		t.Fatalf("GET after eviction: status %d, want 404", status)
+	}
+}
+
+// TestTTLSweep drives the eviction clock by hand.
+func TestTTLSweep(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	now := func() time.Time { return clock }
+	s := New(Config{SessionTTL: time.Minute, SweepInterval: time.Hour, now: now})
+	defer s.Close()
+
+	spec, err := ParseSpec(strings.NewReader(testSpec))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	sess, err := s.Manager().Create(spec)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	clock = clock.Add(30 * time.Second)
+	if n := s.Manager().Sweep(); n != 0 {
+		t.Fatalf("swept %d sessions before TTL", n)
+	}
+	// A touch resets the clock.
+	if _, ok := s.Manager().Get(sess.ID); !ok {
+		t.Fatal("session vanished early")
+	}
+	clock = clock.Add(61 * time.Second)
+	if n := s.Manager().Sweep(); n != 1 {
+		t.Fatalf("swept %d sessions after TTL, want 1", n)
+	}
+	if !sess.closed() {
+		t.Fatal("evicted session not closed")
+	}
+	if _, ok := s.Manager().Get(sess.ID); ok {
+		t.Fatal("evicted session still resolvable")
+	}
+	if got := s.metrics.sessionsEvicted.Load(); got != 1 {
+		t.Fatalf("sessions_evicted = %d, want 1", got)
+	}
+}
+
+// TestSessionLimit verifies the capacity cap returns 503, not a session.
+func TestSessionLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessions: 2})
+	createSession(t, ts.URL, testSpec)
+	createSession(t, ts.URL, testSpec)
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(testSpec))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third session: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHealthzAndMetrics sanity-checks the operational endpoints.
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, testSpec).ID
+	fetchStream(t, ts.URL, id, "?format=bin")
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Sessions != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"fadingd_sessions_active 1",
+		"fadingd_blocks_served_total 8",
+		"fadingd_queue_depth ",
+		"fadingd_blocks_per_second ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServiceGenerationPathNoAllocs is the acceptance gate on the serving
+// hot path: with a pre-warmed session (cursor and job free lists populated,
+// encoder buffer grown), pushing a block through the real pipeline —
+// acquire, pool submit, worker generation, binary encode, release —
+// allocates nothing.
+func TestServiceGenerationPathNoAllocs(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{
+		"model": {"type": "eq22"}, "seed": 9, "blocks": 1024, "idft_points": 256
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	sess, err := newSession(spec, 4, time.Now())
+	if err != nil {
+		t.Fatalf("newSession: %v", err)
+	}
+	p := newPool(1, 2)
+	defer p.close()
+	enc := &binaryEncoder{}
+	job := sess.acquireJob()
+	// Warm: first generation shapes the block, first encode grows the buffer.
+	if err := sess.generateBlock(0, job.block); err != nil {
+		t.Fatalf("warm generateBlock: %v", err)
+	}
+	if _, err := enc.encode(io.Discard, 0, job.block, true); err != nil {
+		t.Fatalf("warm encode: %v", err)
+	}
+	sess.releaseJob(job)
+
+	ctx := context.Background()
+	var i uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		j := sess.acquireJob()
+		j.index = i % 1024
+		if err := p.submit(ctx, sess.done, j); err != nil {
+			t.Fatalf("submit(%d): %v", j.index, err)
+		}
+		<-j.ready
+		if j.err != nil {
+			t.Fatalf("generateBlock(%d): %v", j.index, j.err)
+		}
+		if _, err := enc.encode(io.Discard, j.index, j.block, true); err != nil {
+			t.Fatalf("encode(%d): %v", j.index, err)
+		}
+		sess.releaseJob(j)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("service generation path allocated %.1f times per block, want 0", allocs)
+	}
+}

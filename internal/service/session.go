@@ -1,0 +1,190 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rayleigh "repro"
+)
+
+// Session is one deterministic channel realization being served. The
+// underlying Stream is immutable and random-access, so any number of pool
+// workers can generate any of the session's blocks concurrently; the session
+// only adds bookkeeping (identity, lifecycle, reusable cursors and block
+// buffers).
+type Session struct {
+	// ID is the opaque session identifier handed to the client.
+	ID string
+	// Spec is the validated spec the session was created from.
+	Spec SessionSpec
+
+	stream *rayleigh.Stream
+	n      int
+	m      int
+	blocks uint64 // total stream length
+
+	lastActive atomic.Int64 // unix nanoseconds
+
+	// done is closed exactly once when the session is evicted or deleted;
+	// in-flight streams select on it so eviction terminates them promptly.
+	done      chan struct{}
+	closeOnce sync.Once
+
+	// cursors and jobs are bounded free lists: steady-state block serving
+	// reuses warmed entries instead of allocating, and the bounds keep one
+	// session from hoarding memory.
+	cursors chan *rayleigh.Cursor
+	jobs    chan *blockJob
+}
+
+// blockJob is one unit of pool work: generate block index of session sess
+// into block, then signal ready (capacity 1, so the generating worker never
+// blocks even when the consumer is gone).
+type blockJob struct {
+	sess  *Session
+	index uint64
+	block *rayleigh.Block
+	err   error
+	ready chan struct{}
+}
+
+// newSession builds a session from a validated spec. freeListSize bounds the
+// cursor and job free lists; it should cover the worker count so a fully
+// fanned-out session still recycles.
+func newSession(spec *SessionSpec, freeListSize int, now time.Time) (*Session, error) {
+	target, err := spec.Model.Build()
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	rows := make([][]complex128, target.Rows())
+	for i := range rows {
+		rows[i] = target.Row(i)
+	}
+	stream, err := rayleigh.NewStream(rayleigh.RealTimeConfig{
+		Covariance:        rows,
+		IDFTPoints:        spec.blockLength(),
+		NormalizedDoppler: spec.doppler(),
+		InputVariance:     spec.InputVariance,
+		Seed:              spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if freeListSize < 1 {
+		freeListSize = 1
+	}
+	s := &Session{
+		ID:      newSessionID(),
+		Spec:    *spec,
+		stream:  stream,
+		n:       stream.N(),
+		m:       stream.BlockLength(),
+		blocks:  uint64(spec.Blocks),
+		done:    make(chan struct{}),
+		cursors: make(chan *rayleigh.Cursor, freeListSize),
+		jobs:    make(chan *blockJob, freeListSize),
+	}
+	s.lastActive.Store(now.UnixNano())
+	return s, nil
+}
+
+// newSessionID returns 16 random hex characters. Session IDs are the only
+// nondeterministic part of the service; everything behind them is a pure
+// function of the spec.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; dying loudly beats
+		// serving guessable IDs.
+		panic(fmt.Sprintf("service: session ID entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// N returns the envelope count per block.
+func (s *Session) N() int { return s.n }
+
+// BlockLength returns the samples per envelope per block.
+func (s *Session) BlockLength() int { return s.m }
+
+// Blocks returns the total stream length in blocks.
+func (s *Session) Blocks() uint64 { return s.blocks }
+
+// touch records client activity for TTL accounting.
+func (s *Session) touch(now time.Time) { s.lastActive.Store(now.UnixNano()) }
+
+// idle reports how long the session has been untouched.
+func (s *Session) idle(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, s.lastActive.Load()))
+}
+
+// close marks the session dead, waking every in-flight stream. Idempotent.
+func (s *Session) close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}
+
+// closed reports whether the session has been evicted or deleted.
+func (s *Session) closed() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// generateBlock produces block index into dst through a recycled cursor.
+// It is the service's generation hot path: with warmed free lists and a
+// power-of-two block length it performs no heap allocation.
+func (s *Session) generateBlock(index uint64, dst *rayleigh.Block) error {
+	var cur *rayleigh.Cursor
+	select {
+	case cur = <-s.cursors:
+	default:
+		c, err := s.stream.NewCursor()
+		if err != nil {
+			return err
+		}
+		cur = c
+	}
+	err := cur.BlockAt(index, dst)
+	select {
+	case s.cursors <- cur:
+	default: // free list full; let the extra cursor go
+	}
+	return err
+}
+
+// acquireJob returns a recycled (or new) job bound to this session.
+func (s *Session) acquireJob() *blockJob {
+	select {
+	case j := <-s.jobs:
+		return j
+	default:
+		return &blockJob{
+			sess:  s,
+			block: &rayleigh.Block{},
+			ready: make(chan struct{}, 1),
+		}
+	}
+}
+
+// releaseJob recycles a job whose result has been fully consumed.
+func (s *Session) releaseJob(j *blockJob) {
+	j.err = nil
+	select {
+	case s.jobs <- j:
+	default: // free list full; drop
+	}
+}
+
+// run executes the job against its session. It never blocks on the
+// consumer: ready has capacity 1 and is drained before reuse.
+func (j *blockJob) run() {
+	j.err = j.sess.generateBlock(j.index, j.block)
+	j.ready <- struct{}{}
+}

@@ -1,0 +1,154 @@
+// Package service implements fadingd, the streaming channel-simulation
+// server: clients POST a channel spec (the shared chanspec correlation-model
+// vocabulary plus real-time generation parameters), receive a session ID,
+// and stream blocks of correlated Rayleigh fading envelopes as NDJSON or
+// compact binary frames. Streams are deterministic and resumable — block k
+// of a session is a pure function of the spec, so ?from=k resumption and
+// any worker count reproduce the exact bytes of a from-0 stream — and a
+// bounded worker pool shards block generation across sessions so one slow
+// consumer never stalls the generators. See docs/service.md for the wire
+// protocol.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/chanspec"
+)
+
+// ErrBadSpec reports an invalid session specification (the shared chanspec
+// sentinel, so model errors match the same errors.Is target).
+var ErrBadSpec = chanspec.ErrBadSpec
+
+// Limits bounds the per-session resources a spec may request; the zero value
+// of any field selects its default. They exist so one client cannot park an
+// arbitrarily large generator in the session table.
+type Limits struct {
+	// MaxEnvelopes bounds the model's N. Default 64.
+	MaxEnvelopes int
+	// MaxBlocks bounds a session's total block count. Default 1 << 20.
+	MaxBlocks int
+	// MaxIDFTPoints bounds the per-block sample count M. Default 1 << 16.
+	MaxIDFTPoints int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxEnvelopes == 0 {
+		l.MaxEnvelopes = 64
+	}
+	if l.MaxBlocks == 0 {
+		l.MaxBlocks = 1 << 20
+	}
+	if l.MaxIDFTPoints == 0 {
+		l.MaxIDFTPoints = 1 << 16
+	}
+	return l
+}
+
+// SessionSpec is the body of POST /v1/sessions: one channel realization.
+// The correlation model is the same vocabulary scenario files use
+// (eq22/identity/explicit/exponential/constant/spectral/spatial, see
+// internal/chanspec), so a channel calibrated in scenarios/ can be served
+// verbatim.
+type SessionSpec struct {
+	// Model selects and parameterizes the correlation model.
+	Model chanspec.Model `json:"model"`
+	// Seed fixes the session's random streams: equal specs produce
+	// byte-identical streams, on any server, at any worker count.
+	Seed int64 `json:"seed"`
+	// Blocks is the total length of the session's stream in blocks.
+	Blocks int `json:"blocks"`
+	// IDFTPoints is the block length M in samples; zero selects the paper's
+	// 4096. Powers of two keep the per-block hot path allocation-free.
+	IDFTPoints int `json:"idft_points,omitempty"`
+	// NormalizedDoppler is fm = Fm/Fs in (0, 0.5); zero selects the paper's
+	// 0.05.
+	NormalizedDoppler float64 `json:"normalized_doppler,omitempty"`
+	// InputVariance is σ²_orig of the Doppler filter input; zero selects the
+	// paper's 1/2.
+	InputVariance float64 `json:"input_variance,omitempty"`
+}
+
+// ParseSpec decodes one session spec. Decoding is strict, matching the
+// scenario loader: unknown fields are rejected so a typo fails loudly
+// instead of silently selecting a default channel.
+func ParseSpec(r io.Reader) (*SessionSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s SessionSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("service: %w: %w", ErrBadSpec, err)
+	}
+	// A second document in the body is almost certainly a client bug.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("service: trailing data after spec: %w", ErrBadSpec)
+	}
+	return &s, nil
+}
+
+// Validate checks the spec against the limits without building a generator.
+func (s *SessionSpec) Validate(limits Limits) error {
+	limits = limits.withDefaults()
+	if err := s.Model.Validate(); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if n := s.modelN(); n > limits.MaxEnvelopes {
+		return fmt.Errorf("service: model has %d envelopes, limit %d: %w", n, limits.MaxEnvelopes, ErrBadSpec)
+	}
+	if s.Blocks <= 0 {
+		return fmt.Errorf("service: session needs blocks > 0: %w", ErrBadSpec)
+	}
+	if s.Blocks > limits.MaxBlocks {
+		return fmt.Errorf("service: %d blocks exceeds limit %d: %w", s.Blocks, limits.MaxBlocks, ErrBadSpec)
+	}
+	if m := s.blockLength(); m > limits.MaxIDFTPoints {
+		return fmt.Errorf("service: %d IDFT points exceeds limit %d: %w", m, limits.MaxIDFTPoints, ErrBadSpec)
+	}
+	if fm := s.NormalizedDoppler; fm != 0 && (fm <= 0 || fm >= 0.5) {
+		return fmt.Errorf("service: normalized Doppler %g outside (0, 0.5): %w", fm, ErrBadSpec)
+	}
+	return nil
+}
+
+// modelN returns the envelope count the model describes.
+func (s *SessionSpec) modelN() int {
+	if s.Model.Type == chanspec.ModelEq22 {
+		return 3
+	}
+	if s.Model.Type == chanspec.ModelExplicit {
+		return len(s.Model.Covariance)
+	}
+	return s.Model.N
+}
+
+// blockLength returns the block length in effect (default 4096).
+func (s *SessionSpec) blockLength() int {
+	if s.IDFTPoints != 0 {
+		return s.IDFTPoints
+	}
+	return 4096
+}
+
+// doppler returns the normalized Doppler in effect (default the paper's
+// 0.05, matching the scenario engine).
+func (s *SessionSpec) doppler() float64 {
+	if s.NormalizedDoppler != 0 {
+		return s.NormalizedDoppler
+	}
+	return 0.05
+}
+
+// canonical returns the spec's canonical JSON encoding (stable field order),
+// used by session info responses.
+func (s *SessionSpec) canonical() json.RawMessage {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	// Encoding a validated spec cannot fail.
+	_ = enc.Encode(s)
+	return bytes.TrimSpace(buf.Bytes())
+}

@@ -37,6 +37,13 @@ type Diagnostics struct {
 
 // Generator produces independent snapshots of N correlated Rayleigh fading
 // envelopes (the single-time-instant algorithm of Section 4.4 of the paper).
+//
+// A Generator is not safe for concurrent use: its methods share internal
+// scratch, so drive each Generator from one goroutine at a time (the
+// SnapshotsInto worker fan-out stays inside a single call and is fine).
+// Concurrent hosts wanting shared deterministic output should give each
+// goroutine its own Generator built from the same Config, or use Stream for
+// the real-time block sequence.
 type Generator struct {
 	inner   *core.SnapshotGenerator
 	workers int
@@ -74,20 +81,50 @@ func New(cfg Config) (*Generator, error) {
 	return &Generator{inner: inner, workers: cfg.Parallel}, nil
 }
 
-// NewFromEnvelopePowers builds a Generator from a correlation-coefficient
-// matrix of the complex Gaussians and the desired envelope variances σr²_j
-// (the paper's Eq. (11) conversion is applied internally), enabling unequal
-// envelope powers.
-func NewFromEnvelopePowers(correlation [][]complex128, envelopeVariances []float64, seed int64) (*Generator, error) {
-	rho, err := toMatrix(correlation)
+// PowersConfig configures a Generator built from a correlation-coefficient
+// matrix of the complex Gaussians and desired envelope variances (the
+// paper's "start from envelope powers" entry point, Eq. (11)).
+type PowersConfig struct {
+	// Correlation is the N×N correlation-coefficient matrix ρ of the complex
+	// Gaussian processes.
+	Correlation [][]complex128
+	// EnvelopeVariances holds the desired Rayleigh envelope variances σr²_j,
+	// one per envelope.
+	EnvelopeVariances []float64
+	// Seed seeds the random stream (same semantics as Config.Seed).
+	Seed int64
+	// Parallel is the worker count of the batched generation path (same
+	// semantics as Config.Parallel: output is bit-identical for every
+	// setting).
+	Parallel int
+}
+
+// NewFromPowers builds a Generator from envelope-power parameters, applying
+// the Eq. (11) conversion internally to enable unequal envelope powers.
+func NewFromPowers(cfg PowersConfig) (*Generator, error) {
+	rho, err := toMatrix(cfg.Correlation)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewSnapshotGeneratorFromEnvelopePowers(rho, envelopeVariances, seed)
+	inner, err := core.NewSnapshotGeneratorFromEnvelopePowers(rho, cfg.EnvelopeVariances, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("rayleigh: %w", err)
 	}
-	return &Generator{inner: inner}, nil
+	return &Generator{inner: inner, workers: cfg.Parallel}, nil
+}
+
+// NewFromEnvelopePowers builds a Generator from a correlation-coefficient
+// matrix of the complex Gaussians and the desired envelope variances σr²_j
+// (the paper's Eq. (11) conversion is applied internally), enabling unequal
+// envelope powers. It is equivalent to NewFromPowers with Parallel 0; use
+// NewFromPowers to configure the batched path's worker count (this signature
+// used to drop the worker count entirely, forcing SnapshotsInto sequential).
+func NewFromEnvelopePowers(correlation [][]complex128, envelopeVariances []float64, seed int64) (*Generator, error) {
+	return NewFromPowers(PowersConfig{
+		Correlation:       correlation,
+		EnvelopeVariances: envelopeVariances,
+		Seed:              seed,
+	})
 }
 
 // N returns the number of envelopes per snapshot.
@@ -152,12 +189,19 @@ func (g *Generator) Diagnostics() Diagnostics {
 // covariance follows the desired matrix while each envelope's
 // autocorrelation follows the Jakes model J0(2π·fm·d) (Section 5, Fig. 3 of
 // the paper).
+//
+// A RealTime generator is not safe for concurrent use: its methods share
+// internal scratch, so drive each generator from one goroutine at a time
+// (the BlocksInto worker fan-out stays inside a single call and is fine).
+// Servers and other concurrent hosts should use Stream, whose cursors
+// generate the equivalent batched block sequence without shared state.
 type RealTime struct {
 	inner   *core.RealTimeGenerator
 	workers int
 	scratch core.Block   // header scratch for BlockInto
 	blocks  []core.Block // backing structs for BlocksInto
 	views   []*core.Block
+	seen    map[*Block]int // reused per BlocksInto call for alias detection
 }
 
 // RealTimeConfig configures a RealTime generator.
@@ -246,7 +290,8 @@ func (r *RealTime) BlockInto(b *Block) error {
 
 // BlocksInto fills dst with len(dst) consecutive blocks, reusing the storage
 // of every pre-shaped entry; nil entries are replaced by freshly allocated
-// blocks. When RealTimeConfig.Parallel > 1 the blocks fan out across that many
+// blocks, and duplicate non-nil pointers are rejected with ErrInvalidConfig
+// (aliased entries would silently clobber each other). When RealTimeConfig.Parallel > 1 the blocks fan out across that many
 // workers, each with private Doppler generators and GEMM panels, and the
 // output is bit-identical for every worker count: every block draws from its
 // own stream set, derived in block order from the seed before generation
@@ -257,6 +302,21 @@ func (r *RealTime) BlockInto(b *Block) error {
 func (r *RealTime) BlocksInto(dst []*Block) error {
 	if len(dst) == 0 {
 		return fmt.Errorf("rayleigh: empty block destination: %w", ErrInvalidConfig)
+	}
+	if r.seen == nil {
+		r.seen = make(map[*Block]int, len(dst))
+	}
+	clear(r.seen)
+	for i, b := range dst {
+		if b == nil {
+			continue
+		}
+		if j, dup := r.seen[b]; dup {
+			// A duplicate pointer would silently lose block j: both entries
+			// alias one Block, so the later fill clobbers the earlier one.
+			return fmt.Errorf("rayleigh: destination blocks %d and %d alias the same *Block: %w", j, i, ErrInvalidConfig)
+		}
+		r.seen[b] = i
 	}
 	if cap(r.blocks) < len(dst) {
 		r.blocks = make([]core.Block, len(dst))
