@@ -1,7 +1,8 @@
-// Command benchreport reruns the two throughput benchmark families of the
-// root package (snapshot generation and real-time block generation, each at
-// N = 3 and N = 16, allocating and Into variants) through testing.Benchmark
-// and writes the results as JSON: ns/op, allocs/op, bytes/op and the derived
+// Command benchreport reruns the throughput benchmark families of the root
+// package (snapshot generation and real-time block generation, each at
+// N = 3 and N = 16, allocating and Into variants, plus the per-backend
+// batched paths of the method registry) through testing.Benchmark and writes
+// the results as JSON: ns/op, allocs/op, bytes/op and the derived
 // samples/sec. The committed BENCH_core.json at the repository root is the
 // output of one run, giving future changes a perf trajectory to compare
 // against:
@@ -24,6 +25,8 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/backend"
+	"repro/internal/chanspec"
 	"repro/internal/cmplxmat"
 	"repro/internal/core"
 	"repro/internal/doppler"
@@ -142,6 +145,39 @@ func realTimeBenchmarks(name string, k *cmplxmat.Matrix) []result {
 	}
 }
 
+// backendBatchSize is the snapshots-per-op of the per-backend batched
+// benchmarks (a whole number of 64-snapshot chunks).
+const backendBatchSize = 1024
+
+// backendBenchmarks measures every generation backend's batched path on the
+// same covariance target, so method overhead regressions are gated like the
+// core engine's. The name scheme is "BackendBatchedThroughput/<target>/<method>".
+func backendBenchmarks(name string, k *cmplxmat.Matrix, methods []string) []result {
+	var out []result
+	for _, method := range methods {
+		gen, err := backend.New(method, k, 71)
+		if err != nil {
+			fatalf("backend %s on %s: %v", method, name, err)
+		}
+		n := gen.N()
+		batch := make([]core.Snapshot, backendBatchSize)
+		for i := range batch {
+			batch[i].Gaussian = make([]complex128, n)
+			batch[i].Envelopes = make([]float64, n)
+		}
+		out = append(out, measure(
+			"BackendBatchedThroughput/"+name+"/"+method, n*backendBatchSize,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := gen.GenerateBatchInto(batch, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+	return out
+}
+
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
 	os.Exit(1)
@@ -172,6 +208,29 @@ func main() {
 	for _, t := range targets {
 		rep.Benchmarks = append(rep.Benchmarks, realTimeBenchmarks(t.name, t.k)...)
 	}
+	// Per-backend batched benchmarks: the equal-power real spatial matrix is
+	// inside every N = 3-capable method's vocabulary, and the two-branch pair
+	// covers Ertel–Reed.
+	spatial := scenario.ModelSpec{Type: scenario.ModelSpatial, N: 3, SpacingWavelengths: 1, AngularSpreadRad: 0.17453292519943295}
+	eq23, err := spatial.Build()
+	if err != nil {
+		fatalf("spatial covariance: %v", err)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, backendBenchmarks("N=3", eq23, []string{
+		chanspec.MethodGeneralized,
+		chanspec.MethodSalzWinters,
+		chanspec.MethodBeaulieuMerani,
+		chanspec.MethodNatarajan,
+		chanspec.MethodSorooshyariDaut,
+	})...)
+	pairModel := scenario.ModelSpec{Type: scenario.ModelConstant, N: 2, Rho: 0.6}
+	pair, err := pairModel.Build()
+	if err != nil {
+		fatalf("two-branch covariance: %v", err)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, backendBenchmarks("N=2", pair, []string{
+		chanspec.MethodErtelReed,
+	})...)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -2,13 +2,17 @@
 // paper: the covariance matrices of Eq. (22) (spectral correlation) and
 // Eq. (23) (spatial correlation), and the envelope traces of Fig. 4(a)/(b)
 // (three correlated Rayleigh envelopes in dB around their RMS value, plotted
-// over the first 200 samples of a real-time block).
+// over the first 200 samples of a real-time block). Generation goes through
+// the public Stream API, and -method regenerates the figure under any
+// backend of the method registry to visualize where the conventional methods
+// bias the covariance (see docs/methods.md).
 //
 // Usage:
 //
 //	fig4 -panel a            # Fig. 4(a): spectral correlation
 //	fig4 -panel b            # Fig. 4(b): spatial correlation
 //	fig4 -panel a -print-cov # print the Eq. (22)/(23) covariance matrix only
+//	fig4 -panel a -method natarajan   # the real-forced Cholesky baseline
 //	fig4 -panel b -samples 200 -format csv > fig4b.csv
 package main
 
@@ -19,10 +23,8 @@ import (
 	"math"
 	"os"
 
+	rayleigh "repro"
 	"repro/internal/cmplxmat"
-	"repro/internal/core"
-	"repro/internal/corrmodel"
-	"repro/internal/doppler"
 	"repro/internal/stats"
 )
 
@@ -38,6 +40,7 @@ func main() {
 		format   = flag.String("format", "table", `output format: "table" or "csv"`)
 		idft     = flag.Int("idft", 4096, "IDFT length M of the Doppler generators")
 		fm       = flag.Float64("fm", 0.05, "normalized maximum Doppler frequency Fm/Fs")
+		method   = flag.String("method", "", `generation method ("generalized" default; see scenariorun -methods)`)
 	)
 	flag.Parse()
 
@@ -47,7 +50,7 @@ func main() {
 	}
 
 	if *printCov {
-		fmt.Printf("Desired covariance matrix K (%s):\n%s", label, formatMatrix(covariance))
+		fmt.Printf("Desired covariance matrix K (%s):\n%s", label, formatRows(covariance))
 		return
 	}
 
@@ -55,20 +58,28 @@ func main() {
 		log.Fatalf("samples must be in 1..%d", *idft)
 	}
 
-	gen, err := core.NewRealTimeGenerator(core.RealTimeConfig{
-		Covariance:    covariance,
-		Filter:        doppler.FilterSpec{M: *idft, NormalizedDoppler: *fm},
-		InputVariance: 0.5,
-		Seed:          *seed,
+	stream, err := rayleigh.NewStream(rayleigh.RealTimeConfig{
+		Covariance:        covariance,
+		IDFTPoints:        *idft,
+		NormalizedDoppler: *fm,
+		Seed:              *seed,
+		Method:            *method,
 	})
 	if err != nil {
-		log.Fatalf("building real-time generator: %v", err)
+		log.Fatalf("building real-time stream: %v", err)
 	}
-	block := gen.GenerateBlock()
+	cursor, err := stream.NewCursor()
+	if err != nil {
+		log.Fatalf("opening cursor: %v", err)
+	}
+	var block rayleigh.Block
+	if err := cursor.Next(&block); err != nil {
+		log.Fatalf("generating block: %v", err)
+	}
 
 	// Convert each envelope to dB around its RMS value, as in Fig. 4.
-	dB := make([][]float64, gen.N())
-	for j := 0; j < gen.N(); j++ {
+	dB := make([][]float64, stream.N())
+	for j := 0; j < stream.N(); j++ {
 		series, err := stats.EnvelopeDB(block.Envelopes[j])
 		if err != nil {
 			log.Fatalf("normalizing envelope %d: %v", j, err)
@@ -81,8 +92,8 @@ func main() {
 		writeCSV(os.Stdout, dB)
 	case "table":
 		fmt.Printf("Figure 4(%s): %d samples of %d correlated Rayleigh envelopes (dB around RMS)\n",
-			*panel, *samples, gen.N())
-		fmt.Printf("Doppler: M=%d, fm=%g, sigma_g^2 (Eq. 19) = %.4f\n\n", *idft, *fm, gen.SampleVariance())
+			*panel, *samples, stream.N())
+		fmt.Printf("Doppler: M=%d, fm=%g, sigma_g^2 (Eq. 19) = %.4f\n\n", *idft, *fm, stream.SampleVariance())
 		writeTable(os.Stdout, dB)
 		printBlockCovariance(block.Gaussian, covariance)
 	default:
@@ -93,70 +104,69 @@ func main() {
 // printBlockCovariance reports the block's time-averaged covariance against
 // the target — the quantitative statement behind the visual claim of Fig. 4
 // that the envelopes are correlated as designed.
-func printBlockCovariance(gaussian [][]complex128, target *cmplxmat.Matrix) {
+func printBlockCovariance(gaussian [][]complex128, target [][]complex128) {
 	cov, err := stats.SampleCovarianceFromSeries(gaussian)
 	if err != nil {
 		log.Fatalf("estimating block covariance: %v", err)
 	}
-	cmp, err := stats.CompareCovariance(cov, target)
+	cmp, err := stats.CompareCovariance(cov, cmplxmat.MustFromRows(target))
 	if err != nil {
 		log.Fatalf("comparing covariance: %v", err)
 	}
 	fmt.Printf("\nTime-averaged covariance of the block:\n%s", formatMatrix(cov))
-	fmt.Printf("Desired covariance matrix:\n%s", formatMatrix(target))
+	fmt.Printf("Desired covariance matrix:\n%s", formatRows(target))
 	fmt.Printf("Worst entry deviation: %.4f (Frobenius: %.4f, relative: %.4f)\n",
 		cmp.MaxAbs, cmp.Frobenius, cmp.Relative)
 }
 
 // panelCovariance builds the desired covariance matrix for the selected
-// panel using the Section 6 parameters.
-func panelCovariance(panel string) (*cmplxmat.Matrix, string, error) {
+// panel using the Section 6 parameters, through the public model builders.
+func panelCovariance(panel string) ([][]complex128, string, error) {
 	switch panel {
 	case "a":
-		model := &corrmodel.SpectralModel{
+		cov, err := rayleigh.SpectralCovariance(rayleigh.SpectralConfig{
+			Frequencies:    []float64{400e3, 200e3, 0},
+			Delays:         [][]float64{{0, 1e-3, 4e-3}, {1e-3, 0, 3e-3}, {4e-3, 3e-3, 0}},
 			MaxDopplerHz:   50,
 			RMSDelaySpread: 1e-6,
-			Power:          1,
-			Frequencies:    []float64{400e3, 200e3, 0},
-			Delays: [][]float64{
-				{0, 1e-3, 4e-3},
-				{1e-3, 0, 3e-3},
-				{4e-3, 3e-3, 0},
-			},
-		}
-		res, err := model.Covariance()
+		})
 		if err != nil {
 			return nil, "", err
 		}
-		return res.Matrix, "Eq. (22), spectral correlation", nil
+		return cov, "Eq. (22), spectral correlation", nil
 	case "b":
-		model := &corrmodel.SpatialModel{
-			N:                  3,
+		cov, err := rayleigh.SpatialCovariance(rayleigh.SpatialConfig{
+			Antennas:           3,
 			SpacingWavelengths: 1,
-			AngularSpread:      math.Pi / 18,
-			MeanAngle:          0,
-			Power:              1,
-		}
-		res, err := model.Covariance()
+			AngularSpreadRad:   math.Pi / 18,
+			MeanAngleRad:       0,
+		})
 		if err != nil {
 			return nil, "", err
 		}
-		return res.Matrix, "Eq. (23), spatial correlation", nil
+		return cov, "Eq. (23), spatial correlation", nil
 	default:
 		return nil, "", fmt.Errorf("unknown panel %q (want \"a\" or \"b\")", panel)
 	}
 }
 
-func formatMatrix(m *cmplxmat.Matrix) string {
+func formatRows(rows [][]complex128) string {
 	out := ""
-	for i := 0; i < m.Rows(); i++ {
-		for j := 0; j < m.Cols(); j++ {
-			v := m.At(i, j)
+	for _, row := range rows {
+		for _, v := range row {
 			out += fmt.Sprintf("  %8.4f%+8.4fi", real(v), imag(v))
 		}
 		out += "\n"
 	}
 	return out
+}
+
+func formatMatrix(m *cmplxmat.Matrix) string {
+	rows := make([][]complex128, m.Rows())
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
+	return formatRows(rows)
 }
 
 func writeCSV(w *os.File, dB [][]float64) {

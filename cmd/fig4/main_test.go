@@ -14,8 +14,8 @@ func TestPanelCovariance(t *testing.T) {
 	if !strings.Contains(labelA, "22") {
 		t.Errorf("panel a label %q does not reference Eq. (22)", labelA)
 	}
-	if cmplx.Abs(a.At(0, 1)-(0.3782+0.4753i)) > 6e-4 {
-		t.Errorf("panel a K(0,1) = %v, want Eq. (22) value", a.At(0, 1))
+	if cmplx.Abs(a[0][1]-(0.3782+0.4753i)) > 6e-4 {
+		t.Errorf("panel a K(0,1) = %v, want Eq. (22) value", a[0][1])
 	}
 
 	b, labelB, err := panelCovariance("b")
@@ -25,8 +25,8 @@ func TestPanelCovariance(t *testing.T) {
 	if !strings.Contains(labelB, "23") {
 		t.Errorf("panel b label %q does not reference Eq. (23)", labelB)
 	}
-	if cmplx.Abs(b.At(0, 1)-0.8123) > 6e-4 {
-		t.Errorf("panel b K(0,1) = %v, want Eq. (23) value", b.At(0, 1))
+	if cmplx.Abs(b[0][1]-0.8123) > 6e-4 {
+		t.Errorf("panel b K(0,1) = %v, want Eq. (23) value", b[0][1])
 	}
 
 	if _, _, err := panelCovariance("c"); err == nil {
@@ -39,7 +39,7 @@ func TestFormatMatrixMentionsEntries(t *testing.T) {
 	if err != nil {
 		t.Fatalf("panelCovariance: %v", err)
 	}
-	s := formatMatrix(m)
+	s := formatRows(m)
 	if !strings.Contains(s, "0.8123") {
 		t.Errorf("formatMatrix output does not contain the expected entry:\n%s", s)
 	}

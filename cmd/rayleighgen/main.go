@@ -12,9 +12,15 @@
 // coefficient between all pairs (-rho), or through the spectral model flags
 // (-spacing, -doppler, -delay-spread) that mirror Section 2 of the paper.
 //
+// The -method flag selects the generation backend: the paper's generalized
+// algorithm (default) or one of the conventional methods it reviews (run
+// "scenariorun -methods" for the catalog); methods that cannot express the
+// requested correlation fail with their documented error.
+//
 // Examples:
 //
 //	rayleighgen -n 4 -rho 0.7 -count 1000
+//	rayleighgen -n 2 -rho 0.6 -method ertel_reed -count 1000
 //	rayleighgen -mode realtime -n 3 -spacing 200e3 -doppler 50 -delay-spread 1e-6 -count 4096
 package main
 
@@ -24,10 +30,9 @@ import (
 	"log"
 	"os"
 
+	rayleigh "repro"
 	"repro/internal/cmplxmat"
-	"repro/internal/core"
 	"repro/internal/corrmodel"
-	"repro/internal/doppler"
 )
 
 func main() {
@@ -47,6 +52,7 @@ func main() {
 		idft        = flag.Int("idft", 4096, "IDFT length M (realtime mode)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		envOnly     = flag.Bool("envelopes-only", false, "emit only the envelopes, not the complex Gaussians")
+		method      = flag.String("method", "", `generation method ("generalized" default; see scenariorun -methods)`)
 	)
 	flag.Parse()
 
@@ -58,34 +64,47 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	rows := make([][]complex128, covariance.Rows())
+	for i := range rows {
+		rows[i] = covariance.Row(i)
+	}
 
 	w := os.Stdout
 	writeHeader(w, *n, *envOnly)
 
 	switch *mode {
 	case "snapshot":
-		gen, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: covariance, Seed: *seed})
+		gen, err := rayleigh.New(rayleigh.Config{Covariance: rows, Seed: *seed, Method: *method})
 		if err != nil {
 			log.Fatal(err)
 		}
 		for i := 0; i < *count; i++ {
-			s := gen.Generate()
+			s := gen.Snapshot()
 			writeRow(w, i, s.Gaussian, s.Envelopes, *envOnly)
 		}
 	case "realtime":
-		gen, err := core.NewRealTimeGenerator(core.RealTimeConfig{
-			Covariance:    covariance,
-			Filter:        doppler.FilterSpec{M: *idft, NormalizedDoppler: *fm},
-			InputVariance: 0.5,
-			Seed:          *seed,
+		stream, err := rayleigh.NewStream(rayleigh.RealTimeConfig{
+			Covariance:        rows,
+			IDFTPoints:        *idft,
+			NormalizedDoppler: *fm,
+			InputVariance:     0.5,
+			Seed:              *seed,
+			Method:            *method,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		cursor, err := stream.NewCursor()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var block rayleigh.Block
 		emitted := 0
 		for emitted < *count {
-			block := gen.GenerateBlock()
-			for l := 0; l < gen.BlockLength() && emitted < *count; l++ {
+			if err := cursor.Next(&block); err != nil {
+				log.Fatal(err)
+			}
+			for l := 0; l < stream.BlockLength() && emitted < *count; l++ {
 				gauss := make([]complex128, *n)
 				env := make([]float64, *n)
 				for j := 0; j < *n; j++ {

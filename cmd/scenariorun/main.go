@@ -6,7 +6,9 @@
 //
 //	go run ./cmd/scenariorun -all                    # run every scenario
 //	go run ./cmd/scenariorun -list                   # list scenarios and tags
+//	go run ./cmd/scenariorun -methods                # list generation backends
 //	go run ./cmd/scenariorun -run ofdm               # name/tag substring filter
+//	go run ./cmd/scenariorun -run compare            # method-comparison suite
 //	go run ./cmd/scenariorun -all -json out.json -md out.md
 //
 // Exit codes: 0 all gates passed, 1 at least one gate failed, 2 bad usage or
@@ -20,6 +22,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/chanspec"
 	"repro/internal/scenario"
 )
 
@@ -29,11 +32,23 @@ func main() {
 		all      = flag.Bool("all", false, "run every scenario")
 		runMatch = flag.String("run", "", "run scenarios whose name or tags contain this substring")
 		list     = flag.Bool("list", false, "list scenarios and exit")
+		methods  = flag.Bool("methods", false, "list the generation backends specs can name and exit")
 		jsonOut  = flag.String("json", "", "write the JSON report to this file")
 		mdOut    = flag.String("md", "", "write the markdown report to this file")
 		quiet    = flag.Bool("q", false, "suppress the markdown report on stdout")
 	)
 	flag.Parse()
+
+	if *methods {
+		for _, m := range chanspec.Methods() {
+			fmt.Printf("%-18s %s — %s\n", m.Name, m.Title, m.Citation)
+			fmt.Printf("%-18s   constraints: %s\n", "", m.Constraints)
+			if m.Defects != "" {
+				fmt.Printf("%-18s   defects: %s\n", "", m.Defects)
+			}
+		}
+		return
+	}
 
 	specs, err := scenario.LoadDir(*dir)
 	if err != nil {

@@ -26,6 +26,22 @@
 // and frequency separation, as between OFDM subcarriers) and
 // SpatialCovariance (antenna spacing in a transmit array, as in MIMO).
 //
+// # Generation methods
+//
+// The paper's generalized algorithm is the default backend, and the five
+// conventional methods its introduction reviews — Salz–Winters, Ertel–Reed,
+// Beaulieu–Merani, Natarajan et al., Sorooshyari–Daut — are selectable
+// through Config.Method / RealTimeConfig.Method (or NewWithMethod), with
+// their documented constraints and defects intact: a method that cannot
+// express a configuration fails construction with ErrMethodUnsupported or
+// ErrMethodSetup, and methods that bias what they accept (real-forced
+// covariances, ε-clamping, unit-variance whitening) do so here too, so the
+// paper's comparative claims are reproducible experiments. Methods returns
+// the catalog; each backend's constraints, failure classes and real-time
+// semantics are documented in docs/methods.md, and the scenario harness's
+// "comparison" assertion runs one covariance target across several methods
+// side by side (see the scenarios/compare-*.json specs).
+//
 // # Performance
 //
 // The generation hot path is a zero-allocation batched engine. Both modes
@@ -81,10 +97,12 @@
 // # Service
 //
 // cmd/fadingd serves the engine over HTTP as a long-running streaming
-// service: sessions are created from the same correlation-model vocabulary
-// the scenario files use, and their block streams are deterministic and
-// resumable (?from=k is byte-identical to the tail of a from-0 stream, at
-// any server worker count). Endpoints, the spec schema, the binary frame
-// layout and capacity tuning are documented in docs/service.md; a load
-// generator lives in cmd/fadingd/loadtest.
+// service: sessions are created from the same correlation-model and method
+// vocabulary the scenario files use, and their block streams are
+// deterministic and resumable (?from=k is byte-identical to the tail of a
+// from-0 stream, at any server worker count). Endpoints, the spec schema,
+// the binary frame layout and capacity tuning are documented in
+// docs/service.md; a load generator lives in cmd/fadingd/loadtest. A
+// repository-level overview (architecture map, quickstart, methods table)
+// lives in README.md.
 package rayleigh

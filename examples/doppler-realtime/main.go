@@ -31,17 +31,26 @@ func main() {
 	}
 
 	// Paper parameters: M = 4096 IDFT points, fm = Fm/Fs = 50 Hz / 1 kHz.
-	rt, err := rayleigh.NewRealTime(rayleigh.RealTimeConfig{
+	// Stream is the concurrent, random-access face of the real-time engine:
+	// block i is a pure function of the configuration, so any number of
+	// cursors can serve the same deterministic sequence.
+	stream, err := rayleigh.NewStream(rayleigh.RealTimeConfig{
 		Covariance:        cov,
 		IDFTPoints:        4096,
 		NormalizedDoppler: 0.05,
 		Seed:              3,
 	})
 	if err != nil {
-		log.Fatalf("building real-time generator: %v", err)
+		log.Fatalf("building real-time stream: %v", err)
 	}
-
-	block := rt.Block()
+	cursor, err := stream.NewCursor()
+	if err != nil {
+		log.Fatalf("opening cursor: %v", err)
+	}
+	var block rayleigh.Block
+	if err := cursor.Next(&block); err != nil {
+		log.Fatalf("generating block: %v", err)
+	}
 
 	// 1. Envelope trace in dB around RMS, as plotted in Fig. 4(a).
 	fmt.Println("First 100 samples of envelope 1 (dB around RMS), cf. Fig. 4(a):")
@@ -69,12 +78,12 @@ func main() {
 			sum += series[l+lag] * cmplx.Conj(series[l])
 		}
 		measured := real(sum) / power
-		fmt.Printf("%6d %12.4f %12.4f\n", lag, measured, rt.TheoreticalAutocorrelation(lag))
+		fmt.Printf("%6d %12.4f %12.4f\n", lag, measured, stream.TheoreticalAutocorrelation(lag))
 	}
 
 	// 3. Cross-envelope covariance of the block versus the design target.
 	fmt.Println("\nTime-averaged covariance of the block vs the design target:")
-	n := rt.N()
+	n := stream.N()
 	worst := 0.0
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {

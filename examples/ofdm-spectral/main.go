@@ -46,20 +46,31 @@ func main() {
 	}
 
 	// Estimate the cross-correlation between subcarrier fades from the
-	// generated snapshots and compare with the design target.
+	// generated snapshots and compare with the design target. Generation runs
+	// through the batched SnapshotsInto path, reusing one pre-shaped buffer.
 	const draws = 200000
 	n := gen.N()
 	est := make([][]complex128, n)
 	for i := range est {
 		est[i] = make([]complex128, n)
 	}
-	for d := 0; d < draws; d++ {
-		s := gen.Snapshot()
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				est[i][j] += s.Gaussian[i] * cmplx.Conj(s.Gaussian[j]) / draws
+	batch := make([]rayleigh.Snapshot, 4096)
+	for done := 0; done < draws; {
+		chunk := batch
+		if rem := draws - done; rem < len(chunk) {
+			chunk = chunk[:rem]
+		}
+		if err := gen.SnapshotsInto(chunk); err != nil {
+			log.Fatalf("generating snapshots: %v", err)
+		}
+		for _, s := range chunk {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					est[i][j] += s.Gaussian[i] * cmplx.Conj(s.Gaussian[j]) / draws
+				}
 			}
 		}
+		done += len(chunk)
 	}
 
 	fmt.Println("\nSample covariance of the generated subcarrier fades:")

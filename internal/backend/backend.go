@@ -1,0 +1,166 @@
+// Package backend is the generation-method registry: it puts the paper's
+// generalized engine (internal/core) and every conventional method of
+// internal/baseline behind one Backend interface, keyed by the chanspec
+// method vocabulary ("generalized", "salz_winters", "ertel_reed",
+// "beaulieu_merani", "natarajan", "sorooshyari_daut"). The scenario harness,
+// the public API and the fadingd service all resolve spec method names
+// through this package, so "which method, at what cost, with which failure
+// modes" is a single spec-file question. Each backend's constraints and
+// typed failure classes are catalogued in docs/methods.md.
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/chanspec"
+	"repro/internal/cmplxmat"
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// Backend is the unified face of one generation method configured for one
+// covariance target: independent snapshots through the single-draw and the
+// batched destination-passing paths. A Backend is not safe for concurrent
+// use (its methods share internal scratch and random streams).
+type Backend interface {
+	// Method returns the canonical spec method value.
+	Method() string
+	// N returns the envelope count per snapshot.
+	N() int
+	// GenerateInto draws one snapshot into caller-supplied length-N storage
+	// without allocating.
+	GenerateInto(gaussian []complex128, env []float64) error
+	// GenerateBatchInto fills dst with len(dst) independent snapshots,
+	// reusing pre-shaped Gaussian/Envelopes storage. The generalized engine
+	// honors workers (output bit-identical for every count); the baseline
+	// methods run their chunked batched path sequentially and ignore it.
+	GenerateBatchInto(dst []core.Snapshot, workers int) error
+	// Diagnostics returns the zero-clamp PSD forcing record of the target for
+	// the generalized engine, and nil for the baseline methods — they reject
+	// unsupported targets during construction instead of forcing them.
+	Diagnostics() *core.ForcedPSD
+}
+
+// New resolves a method name against a covariance target. Construction
+// surfaces each method's documented failure classes: baseline.ErrUnsupported
+// for configurations outside a method's vocabulary (unequal powers, N ≠ 2,
+// complex correlation), baseline.ErrSetupFailed for numerical rejections
+// (non-PSD targets under Cholesky or Salz–Winters), chanspec.ErrBadSpec for
+// names outside the vocabulary.
+func New(method string, k *cmplxmat.Matrix, seed int64) (Backend, error) {
+	method = chanspec.NormalizeMethod(method)
+	if err := chanspec.ValidateMethod(method); err != nil {
+		return nil, fmt.Errorf("backend: %w", err)
+	}
+	if method == chanspec.MethodGeneralized {
+		gen, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: k, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &generalized{gen: gen}, nil
+	}
+	m, err := baseline.New(method)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Setup(k); err != nil {
+		return nil, err
+	}
+	rng := randx.New(seed)
+	return &conventional{
+		method: method,
+		m:      m,
+		rng:    rng,
+		root:   rng.Split(),
+	}, nil
+}
+
+// RealtimeOverride resolves a method name into the core.RealTimeConfig
+// coloring knobs: the coloring-matrix override and the unit-variance
+// assumption the method carries into the real-time combination of Section 5.
+// The generalized method returns (nil, false) — the engine's own eigen
+// coloring applies. Construction failures match New's typed error classes.
+func RealtimeOverride(method string, k *cmplxmat.Matrix) (coloring *cmplxmat.Matrix, assumeUnitVariance bool, err error) {
+	method = chanspec.NormalizeMethod(method)
+	if err := chanspec.ValidateMethod(method); err != nil {
+		return nil, false, fmt.Errorf("backend: %w", err)
+	}
+	if method == chanspec.MethodGeneralized {
+		return nil, false, nil
+	}
+	m, err := baseline.New(method)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := m.Setup(k); err != nil {
+		return nil, false, err
+	}
+	return m.RealtimeColoring()
+}
+
+// generalized adapts the core engine.
+type generalized struct {
+	gen *core.SnapshotGenerator
+}
+
+func (g *generalized) Method() string { return chanspec.MethodGeneralized }
+
+func (g *generalized) N() int { return g.gen.N() }
+
+func (g *generalized) GenerateInto(gaussian []complex128, env []float64) error {
+	return g.gen.GenerateInto(gaussian, env)
+}
+
+func (g *generalized) GenerateBatchInto(dst []core.Snapshot, workers int) error {
+	return g.gen.GenerateBatchInto(dst, workers)
+}
+
+func (g *generalized) Diagnostics() *core.ForcedPSD { return g.gen.Diagnostics() }
+
+// conventional adapts a baseline method, shaping destinations and bridging
+// the []core.Snapshot batch face onto the baseline slice-of-slices one.
+type conventional struct {
+	method string
+	m      baseline.Method
+	rng    *randx.RNG // single-draw stream (GenerateInto)
+	root   *randx.RNG // batch chunk-stream root (GenerateBatchInto)
+	gv     [][]complex128
+	ev     [][]float64
+}
+
+func (c *conventional) Method() string { return c.method }
+
+func (c *conventional) N() int { return c.m.N() }
+
+func (c *conventional) GenerateInto(gaussian []complex128, env []float64) error {
+	return c.m.GenerateInto(c.rng, gaussian, env)
+}
+
+func (c *conventional) GenerateBatchInto(dst []core.Snapshot, _ int) error {
+	n := c.m.N()
+	if cap(c.gv) < len(dst) {
+		c.gv = make([][]complex128, len(dst))
+		c.ev = make([][]float64, len(dst))
+	}
+	gv, ev := c.gv[:len(dst)], c.ev[:len(dst)]
+	for i := range dst {
+		if len(dst[i].Gaussian) != n {
+			dst[i].Gaussian = make([]complex128, n)
+		}
+		if len(dst[i].Envelopes) != n {
+			dst[i].Envelopes = make([]float64, n)
+		}
+		gv[i] = dst[i].Gaussian
+		ev[i] = dst[i].Envelopes
+	}
+	err := c.m.GenerateBatchInto(c.root, gv, ev)
+	for i := range gv {
+		// Drop the view's references so the adapter does not pin the caller's
+		// sample storage beyond the call.
+		gv[i], ev[i] = nil, nil
+	}
+	return err
+}
+
+func (c *conventional) Diagnostics() *core.ForcedPSD { return nil }

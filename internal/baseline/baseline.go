@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/chanspec"
 	"repro/internal/cmplxmat"
 	"repro/internal/randx"
 )
@@ -39,7 +40,9 @@ var ErrSetupFailed = errors.New("baseline: setup failed")
 // Method is a conventional generator of N correlated complex Gaussian
 // samples (whose moduli are the Rayleigh envelopes). Setup prepares the
 // method for a desired covariance matrix and may fail; Generate draws one
-// snapshot.
+// snapshot. Every method also carries the batched, destination-passing
+// generation paths of the backend registry, so the conventional methods are
+// benchmarkable on the same footing as the generalized engine.
 type Method interface {
 	// Name identifies the method in benchmark reports.
 	Name() string
@@ -49,6 +52,51 @@ type Method interface {
 	// Generate draws one vector of N correlated complex Gaussian samples.
 	// Setup must have succeeded first.
 	Generate(rng *randx.RNG) ([]complex128, error)
+	// N returns the envelope count of the last successful Setup, 0 before.
+	N() int
+	// GenerateInto draws one snapshot into caller-supplied storage: gaussian
+	// receives the N colored complex Gaussian samples and env their moduli
+	// (both length N). It draws the same random sequence as Generate and
+	// performs no heap allocation.
+	GenerateInto(rng *randx.RNG, gaussian []complex128, env []float64) error
+	// GenerateBatchInto fills gaussian[i]/env[i] (each length N) with
+	// len(gaussian) independent snapshots. The batch is cut into chunks of
+	// batchChunkSize; each chunk draws from its own stream derived in index
+	// order from root (the same discipline as the core engine's batched
+	// path), and the coloring-based methods color whole chunks with one
+	// cmplxmat.ColorBlock GEMM per chunk. The chunk streams are distinct from
+	// the Generate stream: a batched run reproduces other batched runs, not
+	// an element-wise Generate sequence.
+	GenerateBatchInto(root *randx.RNG, gaussian [][]complex128, env [][]float64) error
+	// RealtimeColoring returns the N×N complex coloring matrix L the method
+	// contributes to the real-time combination of Section 5 (the Doppler
+	// panel is colored by L/σ_g), plus whether the whitening step must assume
+	// unit variance — the Sorooshyari–Daut defect. Methods whose native
+	// coloring is not an N×N complex matrix (Salz–Winters) return the
+	// equivalent proper complex coloring of the covariance their construction
+	// achieves; the method's Setup constraints still apply. Setup must have
+	// succeeded first.
+	RealtimeColoring() (l *cmplxmat.Matrix, assumeUnitVariance bool, err error)
+}
+
+// New returns the baseline method a chanspec method name selects. The
+// generalized engine is not a baseline: resolving it (or an unknown name)
+// is an error, so callers dispatch the default before consulting this
+// registry.
+func New(method string) (Method, error) {
+	switch chanspec.NormalizeMethod(method) {
+	case chanspec.MethodSalzWinters:
+		return &SalzWintersReal{}, nil
+	case chanspec.MethodErtelReed:
+		return &ErtelReedPair{}, nil
+	case chanspec.MethodBeaulieuMerani:
+		return &CholeskyColoring{}, nil
+	case chanspec.MethodNatarajan:
+		return &NatarajanColoring{}, nil
+	case chanspec.MethodSorooshyariDaut:
+		return &EpsilonEigen{}, nil
+	}
+	return nil, fmt.Errorf("baseline: no baseline method %q: %w", method, ErrUnsupported)
 }
 
 // equalDiagonal reports whether all diagonal entries (powers) are equal

@@ -16,6 +16,8 @@ import (
 type CholeskyColoring struct {
 	factor *cmplxmat.Matrix
 	n      int
+	w      []complex128 // GenerateInto scratch
+	batch  colorBatch
 }
 
 // Name implements Method.
@@ -33,16 +35,58 @@ func (c *CholeskyColoring) Setup(k *cmplxmat.Matrix) error {
 	}
 	c.factor = l
 	c.n = k.Rows()
+	c.w = make([]complex128, c.n)
+	c.batch.reset(l, false)
 	return nil
 }
 
-// Generate implements Method.
+// Generate implements Method, routing through GenerateInto so the two paths
+// produce bit-identical values from the same stream.
 func (c *CholeskyColoring) Generate(rng *randx.RNG) ([]complex128, error) {
 	if c.factor == nil {
 		return nil, fmt.Errorf("baseline: Generate before successful Setup: %w", ErrSetupFailed)
 	}
-	w := rng.ComplexNormalVector(c.n, 1)
-	return cmplxmat.MustMulVec(c.factor, w), nil
+	out := make([]complex128, c.n)
+	env := make([]float64, c.n)
+	if err := c.GenerateInto(rng, out, env); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// N implements Method.
+func (c *CholeskyColoring) N() int { return c.n }
+
+// GenerateInto implements Method.
+func (c *CholeskyColoring) GenerateInto(rng *randx.RNG, gaussian []complex128, env []float64) error {
+	if c.factor == nil {
+		return fmt.Errorf("baseline: GenerateInto before successful Setup: %w", ErrSetupFailed)
+	}
+	if err := checkIntoDst(c.n, gaussian, env); err != nil {
+		return err
+	}
+	rng.FillComplexNormal(c.w, 1)
+	if err := cmplxmat.MulVecInto(gaussian, c.factor, c.w); err != nil {
+		return err
+	}
+	for i, v := range gaussian {
+		env[i] = envAbs(v)
+	}
+	return nil
+}
+
+// GenerateBatchInto implements Method via the shared chunked ColorBlock path.
+func (c *CholeskyColoring) GenerateBatchInto(root *randx.RNG, gaussian [][]complex128, env [][]float64) error {
+	return c.batch.generateBatch(c.n, root, gaussian, env)
+}
+
+// RealtimeColoring implements Method: the Cholesky factor colors the Doppler
+// panel directly.
+func (c *CholeskyColoring) RealtimeColoring() (*cmplxmat.Matrix, bool, error) {
+	if c.factor == nil {
+		return nil, false, fmt.Errorf("baseline: RealtimeColoring before successful Setup: %w", ErrSetupFailed)
+	}
+	return c.factor, false, nil
 }
 
 // NatarajanColoring is the Natarajan–Nassar–Chandrasekhar [5] generator:
@@ -54,6 +98,8 @@ func (c *CholeskyColoring) Generate(rng *randx.RNG) ([]complex128, error) {
 type NatarajanColoring struct {
 	factor *cmplxmat.Matrix
 	n      int
+	w      []complex128 // GenerateInto scratch
+	batch  colorBatch
 }
 
 // Name implements Method.
@@ -79,16 +125,59 @@ func (c *NatarajanColoring) Setup(k *cmplxmat.Matrix) error {
 	}
 	c.factor = l
 	c.n = n
+	c.w = make([]complex128, n)
+	c.batch.reset(l, false)
 	return nil
 }
 
-// Generate implements Method.
+// Generate implements Method, routing through GenerateInto so the two paths
+// produce bit-identical values from the same stream.
 func (c *NatarajanColoring) Generate(rng *randx.RNG) ([]complex128, error) {
 	if c.factor == nil {
 		return nil, fmt.Errorf("baseline: Generate before successful Setup: %w", ErrSetupFailed)
 	}
-	w := rng.ComplexNormalVector(c.n, 1)
-	return cmplxmat.MustMulVec(c.factor, w), nil
+	out := make([]complex128, c.n)
+	env := make([]float64, c.n)
+	if err := c.GenerateInto(rng, out, env); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// N implements Method.
+func (c *NatarajanColoring) N() int { return c.n }
+
+// GenerateInto implements Method.
+func (c *NatarajanColoring) GenerateInto(rng *randx.RNG, gaussian []complex128, env []float64) error {
+	if c.factor == nil {
+		return fmt.Errorf("baseline: GenerateInto before successful Setup: %w", ErrSetupFailed)
+	}
+	if err := checkIntoDst(c.n, gaussian, env); err != nil {
+		return err
+	}
+	rng.FillComplexNormal(c.w, 1)
+	if err := cmplxmat.MulVecInto(gaussian, c.factor, c.w); err != nil {
+		return err
+	}
+	for i, v := range gaussian {
+		env[i] = envAbs(v)
+	}
+	return nil
+}
+
+// GenerateBatchInto implements Method via the shared chunked ColorBlock path.
+func (c *NatarajanColoring) GenerateBatchInto(root *randx.RNG, gaussian [][]complex128, env [][]float64) error {
+	return c.batch.generateBatch(c.n, root, gaussian, env)
+}
+
+// RealtimeColoring implements Method: the real-forced Cholesky factor colors
+// the Doppler panel, so the real-time stream carries the same Re(K) bias as
+// the snapshot mode.
+func (c *NatarajanColoring) RealtimeColoring() (*cmplxmat.Matrix, bool, error) {
+	if c.factor == nil {
+		return nil, false, fmt.Errorf("baseline: RealtimeColoring before successful Setup: %w", ErrSetupFailed)
+	}
+	return c.factor, false, nil
 }
 
 // ErtelReedPair is the Ertel & Reed [2] generator for exactly two
@@ -139,6 +228,70 @@ func (c *ErtelReedPair) Generate(rng *randx.RNG) ([]complex128, error) {
 	w := rng.ComplexNormal(c.power)
 	z2 := complex(c.rho, 0)*z1 + complex(sqrt1m(c.rho), 0)*w
 	return []complex128{z1, z2}, nil
+}
+
+// N implements Method.
+func (c *ErtelReedPair) N() int {
+	if !c.ready {
+		return 0
+	}
+	return 2
+}
+
+// GenerateInto implements Method, drawing the same sequence as Generate.
+func (c *ErtelReedPair) GenerateInto(rng *randx.RNG, gaussian []complex128, env []float64) error {
+	if !c.ready {
+		return fmt.Errorf("baseline: GenerateInto before successful Setup: %w", ErrSetupFailed)
+	}
+	if err := checkIntoDst(2, gaussian, env); err != nil {
+		return err
+	}
+	z1 := rng.ComplexNormal(c.power)
+	w := rng.ComplexNormal(c.power)
+	gaussian[0] = z1
+	gaussian[1] = complex(c.rho, 0)*z1 + complex(sqrt1m(c.rho), 0)*w
+	env[0] = envAbs(gaussian[0])
+	env[1] = envAbs(gaussian[1])
+	return nil
+}
+
+// GenerateBatchInto implements Method. The two-branch recursion is scalar, so
+// the batched path is a direct chunked loop (no GEMM panel) with the same
+// per-chunk stream derivation as the coloring-based methods.
+func (c *ErtelReedPair) GenerateBatchInto(root *randx.RNG, gaussian [][]complex128, env [][]float64) error {
+	if !c.ready {
+		return fmt.Errorf("baseline: GenerateBatchInto before successful Setup: %w", ErrSetupFailed)
+	}
+	if err := checkBatchDst(2, gaussian, env); err != nil {
+		return err
+	}
+	rngs := chunkRNGs(root, len(gaussian))
+	for chunk, rng := range rngs {
+		lo := chunk * batchChunkSize
+		hi := lo + batchChunkSize
+		if hi > len(gaussian) {
+			hi = len(gaussian)
+		}
+		for i := lo; i < hi; i++ {
+			// GenerateInto cannot fail: readiness and shapes were checked.
+			_ = c.GenerateInto(rng, gaussian[i], env[i])
+		}
+	}
+	return nil
+}
+
+// RealtimeColoring implements Method: the two-branch recursion
+// z2 = ρ·z1 + sqrt(1−ρ²)·w is the lower-triangular coloring
+// sqrt(p)·[[1, 0], [ρ, sqrt(1−ρ²)]], which colors the Doppler panel directly.
+func (c *ErtelReedPair) RealtimeColoring() (*cmplxmat.Matrix, bool, error) {
+	if !c.ready {
+		return nil, false, fmt.Errorf("baseline: RealtimeColoring before successful Setup: %w", ErrSetupFailed)
+	}
+	s := math.Sqrt(c.power)
+	return cmplxmat.MustFromRows([][]complex128{
+		{complex(s, 0), 0},
+		{complex(c.rho*s, 0), complex(sqrt1m(c.rho)*s, 0)},
+	}), false, nil
 }
 
 func imagAbs(v complex128) float64 {

@@ -17,6 +17,12 @@ import (
 type SalzWintersReal struct {
 	coloring *cmplxmat.Matrix // real 2N×2N coloring matrix
 	n        int
+	target   *cmplxmat.Matrix // accepted covariance (RealtimeColoring)
+	rtL      *cmplxmat.Matrix // cached equivalent complex coloring
+	raw      []float64        // GenerateInto scratch: 2N real samples
+	w        []complex128     // ... lifted to complex for the real matvec
+	colored  []complex128     // ... colored 2N vector
+	batch    colorBatch
 }
 
 // Name implements Method.
@@ -80,24 +86,94 @@ func (s *SalzWintersReal) Setup(k *cmplxmat.Matrix) error {
 	}
 	s.coloring = coloring
 	s.n = n
+	s.target = k.Clone()
+	s.rtL = nil
+	s.raw = make([]float64, 2*n)
+	s.w = make([]complex128, 2*n)
+	s.colored = make([]complex128, 2*n)
+	s.batch.reset(coloring, true)
 	return nil
 }
 
+// N implements Method.
+func (s *SalzWintersReal) N() int { return s.n }
+
+// GenerateInto implements Method, drawing the same 2N real samples as
+// Generate and coloring them without allocating.
+func (s *SalzWintersReal) GenerateInto(rng *randx.RNG, gaussian []complex128, env []float64) error {
+	if s.coloring == nil {
+		return fmt.Errorf("baseline: GenerateInto before successful Setup: %w", ErrSetupFailed)
+	}
+	if err := checkIntoDst(s.n, gaussian, env); err != nil {
+		return err
+	}
+	rng.FillNormal(s.raw, 1)
+	for i, v := range s.raw {
+		s.w[i] = complex(v, 0)
+	}
+	if err := cmplxmat.MulVecInto(s.colored, s.coloring, s.w); err != nil {
+		return err
+	}
+	for i := 0; i < s.n; i++ {
+		v := complex(real(s.colored[i]), real(s.colored[s.n+i]))
+		gaussian[i] = v
+		env[i] = envAbs(v)
+	}
+	return nil
+}
+
+// GenerateBatchInto implements Method via the real 2N-dimensional chunked
+// ColorBlock path.
+func (s *SalzWintersReal) GenerateBatchInto(root *randx.RNG, gaussian [][]complex128, env [][]float64) error {
+	return s.batch.generateBatchReal2N(s.n, root, gaussian, env)
+}
+
+// RealtimeColoring implements Method. The Salz–Winters coloring acts on the
+// real 2N-dimensional sample space, which has no N×N complex form, so the
+// real-time combination uses the equivalent proper complex coloring of the
+// covariance the construction achieves (the eigen coloring of K): the output
+// process is distributionally identical — same covariance, same properness —
+// and every Setup constraint of [1] (equal powers, real-covariance positive
+// semi-definiteness) still gates the configuration.
+func (s *SalzWintersReal) RealtimeColoring() (*cmplxmat.Matrix, bool, error) {
+	if s.coloring == nil {
+		return nil, false, fmt.Errorf("baseline: RealtimeColoring before successful Setup: %w", ErrSetupFailed)
+	}
+	if s.rtL != nil {
+		return s.rtL, false, nil
+	}
+	eig, err := cmplxmat.EigenHermitian(s.target)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrSetupFailed, err)
+	}
+	l := cmplxmat.New(s.n, s.n)
+	for c := 0; c < s.n; c++ {
+		lambda := eig.Values[c]
+		if lambda < 0 {
+			// Setup already verified PSD of the real 2N matrix, which bounds
+			// the complex spectrum; tiny negatives are round-off.
+			lambda = 0
+		}
+		f := complex(math.Sqrt(lambda), 0)
+		for r := 0; r < s.n; r++ {
+			l.Set(r, c, eig.Vectors.At(r, c)*f)
+		}
+	}
+	s.rtL = l
+	return l, false, nil
+}
+
 // Generate implements Method: draw 2N i.i.d. real unit Gaussians, color them
-// and reassemble the complex vector.
+// and reassemble the complex vector. It routes through GenerateInto, so the
+// two paths produce bit-identical values from the same stream.
 func (s *SalzWintersReal) Generate(rng *randx.RNG) ([]complex128, error) {
 	if s.coloring == nil {
 		return nil, fmt.Errorf("baseline: Generate before successful Setup: %w", ErrSetupFailed)
 	}
-	raw := rng.NormalVector(2*s.n, 1)
-	w := make([]complex128, 2*s.n)
-	for i, v := range raw {
-		w[i] = complex(v, 0)
-	}
-	colored := cmplxmat.MustMulVec(s.coloring, w)
 	out := make([]complex128, s.n)
-	for i := 0; i < s.n; i++ {
-		out[i] = complex(real(colored[i]), real(colored[s.n+i]))
+	env := make([]float64, s.n)
+	if err := s.GenerateInto(rng, out, env); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

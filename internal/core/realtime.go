@@ -29,9 +29,16 @@ type RealTimeConfig struct {
 	// AssumeUnitVariance, when true, skips the Eq. (19) correction and feeds
 	// the coloring step with σ²_g = 1 regardless of the true Doppler filter
 	// gain. This reproduces the defect of the method in [6] that Section 5
-	// identifies, and exists purely so the benchmark suite can quantify the
-	// resulting covariance bias. Production use should leave it false.
+	// identifies, so the harness can quantify the resulting covariance bias
+	// (the sorooshyari_daut backend sets it). Production use of the
+	// generalized method should leave it false.
 	AssumeUnitVariance bool
+	// Coloring overrides the coloring matrix applied to the Doppler panel
+	// (see SnapshotConfig.Coloring): the backend registry threads the
+	// conventional methods' colorings through here, so baseline-backed
+	// real-time streams reuse the whole batched engine, including random
+	// access and worker-count invariance.
+	Coloring *cmplxmat.Matrix
 }
 
 // Block is one real-time generation block of M consecutive time samples for
@@ -162,6 +169,7 @@ func NewRealTimeGenerator(cfg RealTimeConfig) (*RealTimeGenerator, error) {
 		Covariance:     cfg.Covariance,
 		SampleVariance: sigmaG2,
 		Seed:           cfg.Seed,
+		Coloring:       cfg.Coloring,
 	})
 	if err != nil {
 		return nil, err

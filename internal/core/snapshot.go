@@ -32,6 +32,13 @@ type SnapshotConfig struct {
 	SampleVariance float64
 	// Seed seeds the internal random stream.
 	Seed int64
+	// Coloring overrides the coloring matrix: when non-nil, this N×N matrix L
+	// is used in step 7 instead of the paper's eigen construction (the caller
+	// guarantees L·Lᴴ equals the covariance it intends to achieve). The
+	// backend registry uses it to run the conventional methods' colorings
+	// through the batched engine; Diagnostics still reports the zero-clamp
+	// forcing record of Covariance, which the override does not consult.
+	Coloring *cmplxmat.Matrix
 }
 
 // SnapshotGenerator implements steps 3–7 of the algorithm in Section 4.4 for
@@ -84,7 +91,22 @@ func NewSnapshotGenerator(cfg SnapshotConfig) (*SnapshotGenerator, error) {
 	if sampleVar < 0 {
 		return nil, fmt.Errorf("core: negative sample variance %g: %w", sampleVar, ErrBadInput)
 	}
-	l, forced, err := ColoringFromCovariance(cfg.Covariance)
+	var (
+		l      *cmplxmat.Matrix
+		forced *ForcedPSD
+		err    error
+	)
+	if cfg.Coloring != nil {
+		n := cfg.Covariance.Rows()
+		if !cfg.Coloring.IsSquare() || cfg.Coloring.Rows() != n {
+			return nil, fmt.Errorf("core: coloring override %dx%d for %d envelopes: %w",
+				cfg.Coloring.Rows(), cfg.Coloring.Cols(), n, ErrBadInput)
+		}
+		l = cfg.Coloring
+		forced, err = ForcePSD(cfg.Covariance)
+	} else {
+		l, forced, err = ColoringFromCovariance(cfg.Covariance)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -352,12 +374,14 @@ func (g *SnapshotGenerator) fillChunk(dst []Snapshot, c int, rng *randx.RNG, p *
 	}
 }
 
-// NewSnapshotGeneratorFromEnvelopePowers builds the desired covariance matrix
-// from a correlation-coefficient matrix of the Gaussians and desired Rayleigh
+// CovarianceFromEnvelopePowers builds the desired covariance matrix from a
+// correlation-coefficient matrix of the Gaussians and desired Rayleigh
 // envelope variances σr²_j: the Gaussian powers follow Eq. (11) and the
 // off-diagonal covariances are ρ_{k,j}·σg_k·σg_j. This is the "start from
-// envelope powers" entry point announced in step 1 of the algorithm.
-func NewSnapshotGeneratorFromEnvelopePowers(correlation *cmplxmat.Matrix, envelopeVariances []float64, seed int64) (*SnapshotGenerator, error) {
+// envelope powers" conversion announced in step 1 of the algorithm, shared
+// by the public NewFromPowers entry point (which routes the result through
+// the backend registry) and NewSnapshotGeneratorFromEnvelopePowers.
+func CovarianceFromEnvelopePowers(correlation *cmplxmat.Matrix, envelopeVariances []float64) (*cmplxmat.Matrix, error) {
 	if correlation == nil {
 		return nil, fmt.Errorf("core: nil correlation matrix: %w", ErrBadInput)
 	}
@@ -370,7 +394,14 @@ func NewSnapshotGeneratorFromEnvelopePowers(correlation *cmplxmat.Matrix, envelo
 	if err != nil {
 		return nil, err
 	}
-	k, err := CovarianceFromCorrelation(correlation, gaussPowers)
+	return CovarianceFromCorrelation(correlation, gaussPowers)
+}
+
+// NewSnapshotGeneratorFromEnvelopePowers chains CovarianceFromEnvelopePowers
+// and NewSnapshotGenerator: the generalized-engine "start from envelope
+// powers" constructor.
+func NewSnapshotGeneratorFromEnvelopePowers(correlation *cmplxmat.Matrix, envelopeVariances []float64, seed int64) (*SnapshotGenerator, error) {
+	k, err := CovarianceFromEnvelopePowers(correlation, envelopeVariances)
 	if err != nil {
 		return nil, err
 	}

@@ -1,13 +1,17 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/backend"
 	"repro/internal/baseline"
+	"repro/internal/chanspec"
 	"repro/internal/cmplxmat"
 	"repro/internal/core"
 	"repro/internal/doppler"
+	"repro/internal/randx"
 	"repro/internal/stats"
 )
 
@@ -36,6 +40,8 @@ func evaluate(a *AssertionSpec, data *runData) (GateResult, error) {
 		checks, err = evalIntoIdentity(a, data)
 	case AssertParallelIdentity:
 		checks, err = evalParallelIdentity(a, data)
+	case AssertComparison:
+		checks, err = evalComparison(a, data)
 	default:
 		err = fmt.Errorf("unknown assertion type %q: %w", a.Type, ErrBadSpec)
 	}
@@ -196,6 +202,126 @@ func evalPSDForcing(a *AssertionSpec, data *runData) ([]Check, error) {
 	return checks, nil
 }
 
+// evalComparison runs the scenario's covariance target through every listed
+// generation method side by side: construction outcomes are classified
+// against the documented failure classes, OK rows generate the spec's draw
+// count through the method's batched path and are measured against the
+// (unforced) target, and every row lands in the Result's comparison table.
+// Each method draws from its own streams seeded by the spec seed, so the
+// table is deterministic.
+func evalComparison(a *AssertionSpec, data *runData) ([]Check, error) {
+	spec := data.spec
+	var checks []Check
+	for i := range a.Methods {
+		row := &a.Methods[i]
+		method := chanspec.NormalizeMethod(row.Method)
+		want := row.Outcome
+		if want == "" {
+			want = OutcomeOK
+		}
+		outcome := MethodOutcome{Method: method}
+		gen, err := backend.New(method, data.target, spec.Seed)
+		switch {
+		case err == nil:
+			outcome.Outcome = OutcomeOK
+		case errors.Is(err, baseline.ErrUnsupported):
+			outcome.Outcome = OutcomeUnsupported
+			outcome.Err = err.Error()
+		case errors.Is(err, baseline.ErrSetupFailed):
+			outcome.Outcome = OutcomeSetupFailed
+			outcome.Err = err.Error()
+		default:
+			// Not a documented failure class: a real configuration error.
+			return nil, fmt.Errorf("comparison method %q: %w", method, err)
+		}
+		checks = append(checks, check(
+			fmt.Sprintf("%s: outcome %s (want %s)", method, outcome.Outcome, want),
+			boolObserved(outcome.Outcome == want), 1, "=="))
+		if outcome.Outcome == OutcomeOK {
+			if err := measureMethod(gen, data, &outcome); err != nil {
+				return nil, fmt.Errorf("comparison method %q: %w", method, err)
+			}
+			if row.MaxAbsError > 0 {
+				checks = append(checks, check(
+					fmt.Sprintf("%s: cov max abs error", method),
+					outcome.CovMaxAbsError, row.MaxAbsError, "<="))
+			}
+			if row.MinAbsError > 0 {
+				checks = append(checks, check(
+					fmt.Sprintf("%s: cov defect floor", method),
+					outcome.CovMaxAbsError, row.MinAbsError, ">="))
+			}
+			if row.MeanTolerance > 0 {
+				checks = append(checks, check(
+					fmt.Sprintf("%s: envelope mean error (Eq. 14)", method),
+					outcome.EnvelopeMeanError, row.MeanTolerance, "<="))
+			}
+			if row.VarianceTolerance > 0 {
+				checks = append(checks, check(
+					fmt.Sprintf("%s: envelope variance error (Eq. 15)", method),
+					outcome.EnvelopeVarianceError, row.VarianceTolerance, "<="))
+			}
+		}
+		data.comparison = append(data.comparison, outcome)
+	}
+	return checks, nil
+}
+
+// measureMethod generates the spec's draw count through the method's batched
+// path and fills the outcome's covariance and envelope-moment measurements
+// (envelope 0, against the target's desired power).
+func measureMethod(gen backend.Backend, data *runData, outcome *MethodOutcome) error {
+	draws := data.spec.Generation.Draws
+	batch := make([]core.Snapshot, draws)
+	if err := gen.GenerateBatchInto(batch, data.spec.Generation.Workers); err != nil {
+		return err
+	}
+	samples := make([][]complex128, draws)
+	env := make([]float64, draws)
+	for i := range batch {
+		samples[i] = batch[i].Gaussian
+		env[i] = batch[i].Envelopes[0]
+	}
+	cov, err := stats.SampleCovariance(samples)
+	if err != nil {
+		return err
+	}
+	cmp, err := stats.CompareCovariance(cov, data.target)
+	if err != nil {
+		return err
+	}
+	outcome.CovMaxAbsError = cmp.MaxAbs
+	outcome.CovRelFrobenius = cmp.Relative
+	mean, err := stats.Mean(env)
+	if err != nil {
+		return err
+	}
+	variance, err := stats.Variance(env)
+	if err != nil {
+		return err
+	}
+	power := real(data.target.At(0, 0))
+	wantMean, err := core.ExpectedEnvelopeMean(power)
+	if err != nil {
+		return err
+	}
+	wantVar, err := core.GaussianPowerToEnvelopeVariance(power)
+	if err != nil {
+		return err
+	}
+	outcome.EnvelopeMeanError = math.Abs(mean-wantMean) / wantMean
+	outcome.EnvelopeVarianceError = math.Abs(variance-wantVar) / wantVar
+	return nil
+}
+
+// boolObserved encodes a pass/fail observation as the 1/0 a Check carries.
+func boolObserved(ok bool) float64 {
+	if ok {
+		return 1
+	}
+	return 0
+}
+
 // identityUnits caps the units of work an identity assertion regenerates.
 func identityUnits(a *AssertionSpec, available, fallback int) int {
 	units := a.Units
@@ -214,6 +340,36 @@ func evalIntoIdentity(a *AssertionSpec, data *runData) ([]Check, error) {
 	switch spec.Generation.Mode {
 	case ModeSnapshot, ModeBatched:
 		units := identityUnits(a, spec.Generation.Draws, 256)
+		n := data.target.Rows()
+		gaussian := make([]complex128, n)
+		env := make([]float64, n)
+		if method := chanspec.NormalizeMethod(spec.Generation.Method); method != chanspec.MethodGeneralized {
+			// Conventional backend: compare the method's allocating Generate
+			// against its GenerateInto on twin streams.
+			alloc, allocRNG, err := setupBaseline(method, data.target, spec.Seed)
+			if err != nil {
+				return nil, err
+			}
+			into, intoRNG, err := setupBaseline(method, data.target, spec.Seed)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < units; i++ {
+				z, err := alloc.Generate(allocRNG)
+				if err != nil {
+					return nil, err
+				}
+				if err := into.GenerateInto(intoRNG, gaussian, env); err != nil {
+					return nil, err
+				}
+				for j := 0; j < n; j++ {
+					if z[j] != gaussian[j] || envelopeOf(z[j]) != env[j] {
+						mismatches++
+					}
+				}
+			}
+			break
+		}
 		alloc, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: data.target, Seed: spec.Seed})
 		if err != nil {
 			return nil, err
@@ -222,9 +378,6 @@ func evalIntoIdentity(a *AssertionSpec, data *runData) ([]Check, error) {
 		if err != nil {
 			return nil, err
 		}
-		n := data.target.Rows()
-		gaussian := make([]complex128, n)
-		env := make([]float64, n)
 		for i := 0; i < units; i++ {
 			s := alloc.Generate()
 			if err := into.GenerateInto(gaussian, env); err != nil {
@@ -295,11 +448,33 @@ func evalParallelIdentity(a *AssertionSpec, data *runData) ([]Check, error) {
 	return []Check{check(fmt.Sprintf("serial vs %d-worker mismatched values", workers), mismatches, 0, "==")}, nil
 }
 
-// batchPair regenerates units snapshots twice from the spec seed, once per
-// worker count.
+// setupBaseline builds one baseline method for the target plus a stream
+// seeded directly from seed. Note this is not the stream the backend
+// registry hands its methods (backend.New advances the seeded RNG by one
+// split to derive the batch root); the identity check only needs the two
+// paths here to share one construction, which they do.
+func setupBaseline(method string, target *cmplxmat.Matrix, seed int64) (baseline.Method, *randx.RNG, error) {
+	m, err := baseline.New(method)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.Setup(target); err != nil {
+		return nil, nil, err
+	}
+	return m, randx.New(seed), nil
+}
+
+// envelopeOf matches the generation kernels' envelope computation.
+func envelopeOf(z complex128) float64 {
+	re, im := real(z), imag(z)
+	return math.Sqrt(re*re + im*im)
+}
+
+// batchPair regenerates units snapshots twice from the spec seed through the
+// spec's backend, once per worker count.
 func batchPair(data *runData, units, workersA, workersB int) (a, b []core.Snapshot, err error) {
 	run := func(workers int) ([]core.Snapshot, error) {
-		gen, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: data.target, Seed: data.spec.Seed})
+		gen, err := backend.New(data.spec.Generation.Method, data.target, data.spec.Seed)
 		if err != nil {
 			return nil, err
 		}

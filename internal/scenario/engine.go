@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 
+	"repro/internal/backend"
+	"repro/internal/chanspec"
 	"repro/internal/cmplxmat"
 	"repro/internal/core"
 	"repro/internal/doppler"
@@ -18,6 +20,9 @@ type Result struct {
 	Description string `json:"description,omitempty"`
 	Seed        int64  `json:"seed"`
 	Mode        string `json:"mode"`
+	// Method is the generation backend the scenario ran on ("generalized"
+	// unless the spec selected a conventional method).
+	Method string `json:"method"`
 	// N is the envelope count, Samples the total number of generated
 	// envelope vectors (draws, or blocks × block length).
 	N       int `json:"n"`
@@ -27,7 +32,29 @@ type Result struct {
 	ClampedEigenvalues int          `json:"clamped_eigenvalues"`
 	ForcingError       float64      `json:"forcing_frobenius_error"`
 	Gates              []GateResult `json:"gates"`
-	Passed             bool         `json:"passed"`
+	// Comparison is the side-by-side method table accumulated by comparison
+	// gates (empty when the spec has none), in method-row order.
+	Comparison []MethodOutcome `json:"comparison,omitempty"`
+	Passed     bool            `json:"passed"`
+}
+
+// MethodOutcome is one row of the side-by-side method-comparison table: what
+// one generation method did with the scenario's covariance target.
+type MethodOutcome struct {
+	Method string `json:"method"`
+	// Outcome is one of the Outcome* constants.
+	Outcome string `json:"outcome"`
+	// Err is the construction error text of unsupported/setup_failed rows.
+	Err string `json:"error,omitempty"`
+	// CovMaxAbsError and CovRelFrobenius compare the method's sample
+	// covariance against the scenario's (unforced) target (OK rows only).
+	CovMaxAbsError  float64 `json:"cov_max_abs_error,omitempty"`
+	CovRelFrobenius float64 `json:"cov_rel_frobenius,omitempty"`
+	// EnvelopeMeanError and EnvelopeVarianceError are the relative
+	// envelope-moment errors of envelope 0 against Eq. (14)–(15) (OK rows
+	// only).
+	EnvelopeMeanError     float64 `json:"envelope_mean_error,omitempty"`
+	EnvelopeVarianceError float64 `json:"envelope_variance_error,omitempty"`
 }
 
 // GateResult is the outcome of one assertion.
@@ -66,14 +93,15 @@ func check(name string, observed, limit float64, op string) Check {
 // before and after forcing, the sample covariance, and the envelope sample /
 // autocorrelation series the spec's assertions asked for.
 type runData struct {
-	spec    *Spec
-	target  *cmplxmat.Matrix
-	forced  *core.ForcedPSD
-	cov     *cmplxmat.Matrix
-	env     map[int][]float64
-	acf     map[int][]float64 // averaged lagged autocorrelation per envelope
-	fm      float64           // normalized Doppler of the realtime run
-	samples int
+	spec       *Spec
+	target     *cmplxmat.Matrix
+	forced     *core.ForcedPSD
+	cov        *cmplxmat.Matrix
+	env        map[int][]float64
+	acf        map[int][]float64 // averaged lagged autocorrelation per envelope
+	fm         float64           // normalized Doppler of the realtime run
+	samples    int
+	comparison []MethodOutcome // side-by-side rows accumulated by comparison gates
 }
 
 // Run executes one scenario end to end and returns its Result. Spec errors
@@ -118,6 +146,7 @@ func Run(spec *Spec) (*Result, error) {
 		Description:        spec.Description,
 		Seed:               spec.Seed,
 		Mode:               spec.Generation.Mode,
+		Method:             chanspec.NormalizeMethod(spec.Generation.Method),
 		N:                  n,
 		Samples:            data.samples,
 		ClampedEigenvalues: forced.NumClamped,
@@ -134,6 +163,7 @@ func Run(spec *Spec) (*Result, error) {
 			res.Passed = false
 		}
 	}
+	res.Comparison = data.comparison
 	return res, nil
 }
 
@@ -168,15 +198,16 @@ func neededEnvelopes(spec *Spec, types ...string) []int {
 	return out
 }
 
-// collectSnapshots runs the snapshot or batched mode and fills the sample
-// covariance and envelope series of data.
+// collectSnapshots runs the snapshot or batched mode through the backend
+// registry and fills the sample covariance and envelope series of data.
 func collectSnapshots(data *runData) error {
 	spec := data.spec
 	draws := spec.Generation.Draws
-	gen, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: data.target, Seed: spec.Seed})
+	gen, err := backend.New(spec.Generation.Method, data.target, spec.Seed)
 	if err != nil {
 		return err
 	}
+	n := data.target.Rows()
 	envIdx := neededEnvelopes(spec, AssertEnvelopeMoments, AssertRayleighKS, AssertRayleighChiSquare)
 	for _, j := range envIdx {
 		data.env[j] = make([]float64, 0, draws)
@@ -185,11 +216,14 @@ func collectSnapshots(data *runData) error {
 	samples := make([][]complex128, draws)
 	switch spec.Generation.Mode {
 	case ModeSnapshot:
+		env := make([]float64, n)
 		for i := range samples {
-			s := gen.Generate()
-			samples[i] = s.Gaussian
+			samples[i] = make([]complex128, n)
+			if err := gen.GenerateInto(samples[i], env); err != nil {
+				return err
+			}
 			for _, j := range envIdx {
-				data.env[j] = append(data.env[j], s.Envelopes[j])
+				data.env[j] = append(data.env[j], env[j])
 			}
 		}
 	case ModeBatched:
@@ -279,18 +313,26 @@ func collectRealtime(data *runData) error {
 	return err
 }
 
-// newRealtimeGenerator builds the realtime generator a spec describes.
+// newRealtimeGenerator builds the realtime generator a spec describes,
+// threading the selected method's coloring construction into the Section 5
+// combination (the Sorooshyari–Daut backend additionally forces the
+// unit-variance whitening assumption its paper makes).
 func newRealtimeGenerator(spec *Spec, target *cmplxmat.Matrix) (*core.RealTimeGenerator, error) {
 	m := spec.Generation.IDFTPoints
 	if m == 0 {
 		m = 4096
+	}
+	coloring, assumeUnit, err := backend.RealtimeOverride(spec.Generation.Method, target)
+	if err != nil {
+		return nil, err
 	}
 	return core.NewRealTimeGenerator(core.RealTimeConfig{
 		Covariance:         target,
 		Filter:             doppler.FilterSpec{M: m, NormalizedDoppler: realtimeDoppler(spec)},
 		InputVariance:      spec.Generation.InputVariance,
 		Seed:               spec.Seed,
-		AssumeUnitVariance: spec.Generation.AssumeUnitVariance,
+		AssumeUnitVariance: spec.Generation.AssumeUnitVariance || assumeUnit,
+		Coloring:           coloring,
 	})
 }
 

@@ -57,7 +57,8 @@ func (r *Report) Markdown() string {
 		if res.Description != "" {
 			fmt.Fprintf(&b, "%s\n\n", res.Description)
 		}
-		fmt.Fprintf(&b, "mode `%s`, N = %d, %d samples, seed %d", res.Mode, res.N, res.Samples, res.Seed)
+		fmt.Fprintf(&b, "mode `%s`, method `%s`, N = %d, %d samples, seed %d",
+			res.Mode, res.Method, res.N, res.Samples, res.Seed)
 		if res.ClampedEigenvalues > 0 {
 			fmt.Fprintf(&b, ", %d eigenvalue(s) clamped (Frobenius error %.4g)",
 				res.ClampedEigenvalues, res.ForcingError)
@@ -69,6 +70,21 @@ func (r *Report) Markdown() string {
 			for _, c := range g.Checks {
 				fmt.Fprintf(&b, "| %s | %s | %.6g | %s %.6g | %s |\n",
 					g.Type, c.Name, c.Observed, c.Op, c.Limit, passFail(c.Passed))
+			}
+		}
+		if len(res.Comparison) > 0 {
+			b.WriteString("\n**Method comparison**\n\n")
+			b.WriteString("| method | outcome | cov max abs err | cov rel Frobenius | env mean err | env var err | error |\n")
+			b.WriteString("|---|---|---|---|---|---|---|\n")
+			for _, m := range res.Comparison {
+				if m.Outcome == OutcomeOK {
+					fmt.Fprintf(&b, "| %s | %s | %.6g | %.6g | %.6g | %.6g | |\n",
+						m.Method, m.Outcome, m.CovMaxAbsError, m.CovRelFrobenius,
+						m.EnvelopeMeanError, m.EnvelopeVarianceError)
+				} else {
+					fmt.Fprintf(&b, "| %s | %s | — | — | — | — | %s |\n",
+						m.Method, m.Outcome, m.Err)
+				}
 			}
 		}
 	}

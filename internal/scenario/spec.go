@@ -91,7 +91,51 @@ const (
 	// AssertParallelIdentity requires the batched path to produce
 	// bit-identical output at worker count 1 and at Workers.
 	AssertParallelIdentity = "parallel_identity"
+	// AssertComparison runs the scenario's covariance target through several
+	// generation methods side by side (snapshot and batched modes): each
+	// listed method must reach its expected outcome — constructing and
+	// matching the target within tolerance, demonstrating a documented
+	// covariance defect, or failing with its documented error class — and the
+	// per-method measurements are emitted as the Result's deterministic
+	// side-by-side comparison table.
+	AssertComparison = "comparison"
 )
+
+// Expected construction outcomes of a comparison assertion's method rows.
+const (
+	// OutcomeOK: the method accepts the configuration and generates.
+	OutcomeOK = "ok"
+	// OutcomeUnsupported: the method rejects the configuration as outside its
+	// vocabulary (baseline.ErrUnsupported) — unequal powers under
+	// Salz–Winters, N ≠ 2 or a complex correlation under Ertel–Reed.
+	OutcomeUnsupported = "unsupported"
+	// OutcomeSetupFailed: the method's decomposition rejects the target
+	// (baseline.ErrSetupFailed) — Cholesky or the Salz–Winters real coloring
+	// on a matrix that is not positive (semi-)definite.
+	OutcomeSetupFailed = "setup_failed"
+)
+
+// MethodExpect is one row of a comparison assertion: a generation method and
+// the outcome the scenario expects from it on this covariance target.
+type MethodExpect struct {
+	// Method is the spec method name (see internal/chanspec).
+	Method string `json:"method"`
+	// Outcome is the expected construction outcome; empty selects OutcomeOK.
+	Outcome string `json:"outcome,omitempty"`
+	// MaxAbsError bounds the entrywise sample-covariance error against the
+	// scenario's (unforced) target for OK rows.
+	MaxAbsError float64 `json:"max_abs_error,omitempty"`
+	// MinAbsError demands a covariance defect of at least this size against
+	// the target — the gate for methods that accept a configuration but are
+	// documented to bias it (Natarajan on complex targets, Sorooshyari–Daut
+	// on indefinite ones).
+	MinAbsError float64 `json:"min_abs_error,omitempty"`
+	// MeanTolerance and VarianceTolerance bound the relative envelope-moment
+	// errors of envelope 0 against Eq. (14)–(15) for OK rows (zero skips the
+	// check).
+	MeanTolerance     float64 `json:"mean_tolerance,omitempty"`
+	VarianceTolerance float64 `json:"variance_tolerance,omitempty"`
+}
 
 // Spec is one declarative scenario.
 type Spec struct {
@@ -139,6 +183,15 @@ type GenerationSpec struct {
 	// streams (both are deterministic, and output is worker-count
 	// invariant).
 	Workers int `json:"workers,omitempty"`
+	// Method selects the generation backend realizing the covariance target:
+	// "generalized" (the default) or one of the conventional methods of the
+	// backend registry ("salz_winters", "ertel_reed", "beaulieu_merani",
+	// "natarajan", "sorooshyari_daut" — see docs/methods.md). A conventional
+	// method that rejects the scenario's target surfaces its typed error as a
+	// run error, so expected failures belong in comparison assertions, not
+	// here. The conventional batched paths are sequential; parallel_identity
+	// assertions therefore require the generalized method in batched mode.
+	Method string `json:"method,omitempty"`
 	// AssumeUnitVariance skips the Eq. (19) Doppler-gain correction,
 	// reproducing the defect of [6]. Only meaningful in realtime mode and
 	// only useful together with AssertCovarianceDefect.
@@ -198,6 +251,9 @@ type AssertionSpec struct {
 	// Units caps the units of work (snapshots or blocks) regenerated by the
 	// identity assertions; zero selects min(256, Generation size).
 	Units int `json:"units,omitempty"`
+	// Methods is the comparison assertion's expectation list: one row per
+	// generation method run side by side on the scenario's covariance target.
+	Methods []MethodExpect `json:"methods,omitempty"`
 }
 
 // Validate checks the spec for structural consistency: required fields,
@@ -217,7 +273,7 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario %q: no assertions: %w", s.Name, ErrBadSpec)
 	}
 	for i := range s.Assertions {
-		if err := s.Assertions[i].validate(s.Generation.Mode); err != nil {
+		if err := s.Assertions[i].validate(&s.Generation); err != nil {
 			return fmt.Errorf("scenario %q assertion %d: %w", s.Name, i, err)
 		}
 	}
@@ -249,10 +305,14 @@ func (g *GenerationSpec) validate() error {
 	default:
 		return fmt.Errorf("unknown generation mode %q: %w", g.Mode, ErrBadSpec)
 	}
+	if err := chanspec.ValidateMethod(g.Method); err != nil {
+		return err
+	}
 	return nil
 }
 
-func (a *AssertionSpec) validate(mode string) error {
+func (a *AssertionSpec) validate(g *GenerationSpec) error {
+	mode := g.Mode
 	switch a.Type {
 	case AssertCovariance:
 		if a.MaxAbsError <= 0 && a.MaxRelFrobenius <= 0 {
@@ -295,10 +355,56 @@ func (a *AssertionSpec) validate(mode string) error {
 		if mode == ModeSnapshot {
 			return fmt.Errorf("parallel_identity assertion needs batched or realtime mode: %w", ErrBadSpec)
 		}
+		if mode == ModeBatched && chanspec.NormalizeMethod(g.Method) != chanspec.MethodGeneralized {
+			// The conventional batched paths are sequential, so a worker
+			// sweep would compare a path against itself.
+			return fmt.Errorf("parallel_identity in batched mode needs the generalized method, got %q: %w", g.Method, ErrBadSpec)
+		}
+	case AssertComparison:
+		if mode == ModeRealtime {
+			return fmt.Errorf("comparison assertion needs snapshot or batched mode, got %q: %w", mode, ErrBadSpec)
+		}
+		if len(a.Methods) < 2 {
+			return fmt.Errorf("comparison assertion needs at least 2 method rows, got %d: %w", len(a.Methods), ErrBadSpec)
+		}
+		seen := map[string]bool{}
+		for i := range a.Methods {
+			if err := a.Methods[i].validate(); err != nil {
+				return fmt.Errorf("method row %d: %w", i, err)
+			}
+			name := chanspec.NormalizeMethod(a.Methods[i].Method)
+			if seen[name] {
+				return fmt.Errorf("method row %d: duplicate method %q: %w", i, name, ErrBadSpec)
+			}
+			seen[name] = true
+		}
 	case "":
 		return fmt.Errorf("assertion has no type: %w", ErrBadSpec)
 	default:
 		return fmt.Errorf("unknown assertion type %q: %w", a.Type, ErrBadSpec)
+	}
+	return nil
+}
+
+// validate checks one comparison method row.
+func (m *MethodExpect) validate() error {
+	if m.Method == "" {
+		return fmt.Errorf("comparison method row has no method: %w", ErrBadSpec)
+	}
+	if err := chanspec.ValidateMethod(m.Method); err != nil {
+		return err
+	}
+	switch m.Outcome {
+	case "", OutcomeOK:
+		if m.MaxAbsError <= 0 && m.MinAbsError <= 0 && m.MeanTolerance <= 0 && m.VarianceTolerance <= 0 {
+			return fmt.Errorf("ok row for %q checks nothing (set max_abs_error, min_abs_error or a moment tolerance): %w", m.Method, ErrBadSpec)
+		}
+	case OutcomeUnsupported, OutcomeSetupFailed:
+		if m.MaxAbsError != 0 || m.MinAbsError != 0 || m.MeanTolerance != 0 || m.VarianceTolerance != 0 {
+			return fmt.Errorf("%s row for %q cannot carry statistical bounds: %w", m.Outcome, m.Method, ErrBadSpec)
+		}
+	default:
+		return fmt.Errorf("unknown expected outcome %q for %q: %w", m.Outcome, m.Method, ErrBadSpec)
 	}
 	return nil
 }

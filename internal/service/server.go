@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/chanspec"
 )
 
 // Config tunes a Server; every zero field selects its default. Capacity
@@ -95,6 +97,7 @@ func New(cfg Config) *Server {
 		shutdown: make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
@@ -144,6 +147,9 @@ func (s *Server) runJanitor() {
 // sessionInfo is the JSON shape of create and info responses.
 type sessionInfo struct {
 	ID string `json:"id"`
+	// Method is the generation backend serving the session (normalized, so
+	// an omitted spec method reads back as "generalized").
+	Method string `json:"method"`
 	// N and BlockLength describe the stream geometry; Blocks its total
 	// length.
 	N           int `json:"n"`
@@ -196,6 +202,7 @@ func (s *Server) info(sess *Session) sessionInfo {
 	diag := sess.stream.Diagnostics()
 	return sessionInfo{
 		ID:                 sess.ID,
+		Method:             chanspec.NormalizeMethod(sess.Spec.Method),
 		N:                  sess.N(),
 		BlockLength:        sess.BlockLength(),
 		Blocks:             int(sess.Blocks()),
@@ -211,6 +218,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleMethods serves the generation-backend catalog: the spec method
+// values, each method's citation and the constraints under which it accepts
+// a session's covariance target.
+func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]any{"methods": chanspec.Methods()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

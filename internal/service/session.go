@@ -70,6 +70,7 @@ func newSession(spec *SessionSpec, freeListSize int, now time.Time) (*Session, e
 		NormalizedDoppler: spec.doppler(),
 		InputVariance:     spec.InputVariance,
 		Seed:              spec.Seed,
+		Method:            spec.Method,
 	})
 	if err != nil {
 		return nil, err

@@ -57,6 +57,11 @@ func (l Limits) withDefaults() Limits {
 type SessionSpec struct {
 	// Model selects and parameterizes the correlation model.
 	Model chanspec.Model `json:"model"`
+	// Method selects the generation backend realizing the model's covariance
+	// ("generalized" default, or one of the conventional methods — see
+	// docs/methods.md). A method that rejects the model's covariance fails
+	// session creation with its documented error class.
+	Method string `json:"method,omitempty"`
 	// Seed fixes the session's random streams: equal specs produce
 	// byte-identical streams, on any server, at any worker count.
 	Seed int64 `json:"seed"`
@@ -94,6 +99,9 @@ func ParseSpec(r io.Reader) (*SessionSpec, error) {
 func (s *SessionSpec) Validate(limits Limits) error {
 	limits = limits.withDefaults()
 	if err := s.Model.Validate(); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if err := chanspec.ValidateMethod(s.Method); err != nil {
 		return fmt.Errorf("service: %w", err)
 	}
 	if n := s.modelN(); n > limits.MaxEnvelopes {

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/backend"
+	"repro/internal/baseline"
+	"repro/internal/chanspec"
 	"repro/internal/cmplxmat"
 	"repro/internal/core"
 	"repro/internal/doppler"
@@ -11,6 +14,63 @@ import (
 
 // ErrInvalidConfig reports an invalid public-API configuration.
 var ErrInvalidConfig = errors.New("rayleigh: invalid configuration")
+
+// ErrMethodUnsupported reports that the selected generation method cannot
+// handle the requested configuration — the shortcoming the paper attributes
+// to it (unequal powers under Salz–Winters, N ≠ 2 or a complex correlation
+// under Ertel–Reed). It never fires for the default generalized method.
+var ErrMethodUnsupported = baseline.ErrUnsupported
+
+// ErrMethodSetup reports that the selected generation method's decomposition
+// rejected the covariance matrix — typically Cholesky on a target that is not
+// positive definite, the restriction the generalized method's zero-clamp
+// forcing removes.
+var ErrMethodSetup = baseline.ErrSetupFailed
+
+// Generation method names accepted by Config.Method, RealTimeConfig.Method
+// and NewWithMethod: the paper's generalized algorithm (the default) and the
+// five conventional methods its introduction reviews. Each method's
+// constraints and failure classes are catalogued in docs/methods.md and by
+// Methods.
+const (
+	MethodGeneralized     = chanspec.MethodGeneralized
+	MethodSalzWinters     = chanspec.MethodSalzWinters
+	MethodErtelReed       = chanspec.MethodErtelReed
+	MethodBeaulieuMerani  = chanspec.MethodBeaulieuMerani
+	MethodNatarajan       = chanspec.MethodNatarajan
+	MethodSorooshyariDaut = chanspec.MethodSorooshyariDaut
+)
+
+// MethodInfo describes one generation backend.
+type MethodInfo struct {
+	// Name is the Config.Method value.
+	Name string
+	// Title is the human-readable method name.
+	Title string
+	// Citation names the source in the paper's reference list.
+	Citation string
+	// Constraints summarizes the configurations the method supports.
+	Constraints string
+	// Defects summarizes the accuracy losses the paper attributes to the
+	// method on configurations it does accept (empty when none).
+	Defects string
+}
+
+// Methods returns the catalog of generation backends, generalized first.
+func Methods() []MethodInfo {
+	infos := chanspec.Methods()
+	out := make([]MethodInfo, len(infos))
+	for i, m := range infos {
+		out[i] = MethodInfo{
+			Name:        m.Name,
+			Title:       m.Title,
+			Citation:    m.Citation,
+			Constraints: m.Constraints,
+			Defects:     m.Defects,
+		}
+	}
+	return out
+}
 
 // Snapshot is one independent draw: N correlated complex Gaussian samples and
 // their moduli, the Rayleigh envelopes.
@@ -36,7 +96,9 @@ type Diagnostics struct {
 }
 
 // Generator produces independent snapshots of N correlated Rayleigh fading
-// envelopes (the single-time-instant algorithm of Section 4.4 of the paper).
+// envelopes. The default backend is the paper's generalized algorithm
+// (Section 4.4); Config.Method swaps in one of the conventional methods,
+// which keep their documented constraints and failure classes.
 //
 // A Generator is not safe for concurrent use: its methods share internal
 // scratch, so drive each Generator from one goroutine at a time (the
@@ -45,7 +107,7 @@ type Diagnostics struct {
 // goroutine its own Generator built from the same Config, or use Stream for
 // the real-time block sequence.
 type Generator struct {
-	inner   *core.SnapshotGenerator
+	backend backend.Backend
 	workers int
 	batch   []core.Snapshot // reusable header scratch for SnapshotsInto
 }
@@ -53,8 +115,9 @@ type Generator struct {
 // Config configures a Generator built directly from a covariance matrix.
 type Config struct {
 	// Covariance is the desired N×N covariance matrix of the complex
-	// Gaussian processes, row by row. It must be Hermitian; it does not need
-	// to be positive definite or even positive semi-definite.
+	// Gaussian processes, row by row. It must be Hermitian; under the default
+	// generalized method it does not need to be positive definite or even
+	// positive semi-definite (conventional methods are pickier — see Methods).
 	Covariance [][]complex128
 	// Seed seeds the random stream. The same seed reproduces the same
 	// sequence of snapshots.
@@ -64,8 +127,14 @@ type Config struct {
 	// seeded run is bit-identical for every setting, including sequential:
 	// each chunk of work draws from its own stream derived deterministically
 	// from the seed before any generation starts, so the schedule cannot leak
-	// into the values.
+	// into the values. The conventional methods' batched paths are sequential
+	// and ignore it.
 	Parallel int
+	// Method selects the generation backend by its spec name (one of the
+	// Method* constants); empty selects MethodGeneralized. Conventional
+	// methods reject configurations outside their vocabulary with
+	// ErrMethodUnsupported or ErrMethodSetup at construction.
+	Method string
 }
 
 // New builds a Generator for the desired covariance matrix.
@@ -74,11 +143,19 @@ func New(cfg Config) (*Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewSnapshotGenerator(core.SnapshotConfig{Covariance: k, Seed: cfg.Seed})
+	b, err := backend.New(cfg.Method, k, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("rayleigh: %w", err)
 	}
-	return &Generator{inner: inner, workers: cfg.Parallel}, nil
+	return &Generator{backend: b, workers: cfg.Parallel}, nil
+}
+
+// NewWithMethod builds a Generator that realizes cfg through the named
+// generation method, overriding cfg.Method. It is shorthand for setting
+// Config.Method; the method vocabulary is the Method* constants.
+func NewWithMethod(method string, cfg Config) (*Generator, error) {
+	cfg.Method = method
+	return New(cfg)
 }
 
 // PowersConfig configures a Generator built from a correlation-coefficient
@@ -97,6 +174,11 @@ type PowersConfig struct {
 	// semantics as Config.Parallel: output is bit-identical for every
 	// setting).
 	Parallel int
+	// Method selects the generation backend (same semantics as
+	// Config.Method). Note the conventional equal-power-only methods reject
+	// unequal envelope variances here — the restriction the Eq. (11) entry
+	// point exists to lift.
+	Method string
 }
 
 // NewFromPowers builds a Generator from envelope-power parameters, applying
@@ -106,19 +188,26 @@ func NewFromPowers(cfg PowersConfig) (*Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewSnapshotGeneratorFromEnvelopePowers(rho, cfg.EnvelopeVariances, cfg.Seed)
+	k, err := core.CovarianceFromEnvelopePowers(rho, cfg.EnvelopeVariances)
 	if err != nil {
 		return nil, fmt.Errorf("rayleigh: %w", err)
 	}
-	return &Generator{inner: inner, workers: cfg.Parallel}, nil
+	b, err := backend.New(cfg.Method, k, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("rayleigh: %w", err)
+	}
+	return &Generator{backend: b, workers: cfg.Parallel}, nil
 }
 
 // NewFromEnvelopePowers builds a Generator from a correlation-coefficient
 // matrix of the complex Gaussians and the desired envelope variances σr²_j
 // (the paper's Eq. (11) conversion is applied internally), enabling unequal
-// envelope powers. It is equivalent to NewFromPowers with Parallel 0; use
-// NewFromPowers to configure the batched path's worker count (this signature
-// used to drop the worker count entirely, forcing SnapshotsInto sequential).
+// envelope powers. It is equivalent to NewFromPowers with Parallel 0 (this
+// signature used to drop the worker count entirely, forcing SnapshotsInto
+// sequential, and cannot name a generation method).
+//
+// Deprecated: use NewFromPowers, whose PowersConfig carries the worker count
+// and the generation method. The examples-build CI step rejects new uses.
 func NewFromEnvelopePowers(correlation [][]complex128, envelopeVariances []float64, seed int64) (*Generator, error) {
 	return NewFromPowers(PowersConfig{
 		Correlation:       correlation,
@@ -128,23 +217,28 @@ func NewFromEnvelopePowers(correlation [][]complex128, envelopeVariances []float
 }
 
 // N returns the number of envelopes per snapshot.
-func (g *Generator) N() int { return g.inner.N() }
+func (g *Generator) N() int { return g.backend.N() }
+
+// Method returns the canonical name of the generation backend in use.
+func (g *Generator) Method() string { return g.backend.Method() }
 
 // Snapshot draws one independent snapshot.
 func (g *Generator) Snapshot() Snapshot {
-	s := g.inner.Generate()
-	return Snapshot{Gaussian: s.Gaussian, Envelopes: s.Envelopes}
+	n := g.backend.N()
+	s := Snapshot{Gaussian: make([]complex128, n), Envelopes: make([]float64, n)}
+	// GenerateInto cannot fail: the destination lengths match by construction.
+	_ = g.backend.GenerateInto(s.Gaussian, s.Envelopes)
+	return s
 }
 
 // Snapshots draws count independent snapshots.
 func (g *Generator) Snapshots(count int) ([]Snapshot, error) {
-	batch, err := g.inner.GenerateBatch(count)
-	if err != nil {
-		return nil, fmt.Errorf("rayleigh: %w", err)
+	if count <= 0 {
+		return nil, fmt.Errorf("rayleigh: snapshot count %d must be positive: %w", count, ErrInvalidConfig)
 	}
-	out := make([]Snapshot, len(batch))
-	for i, s := range batch {
-		out[i] = Snapshot{Gaussian: s.Gaussian, Envelopes: s.Envelopes}
+	out := make([]Snapshot, count)
+	for i := range out {
+		out[i] = g.Snapshot()
 	}
 	return out, nil
 }
@@ -168,7 +262,7 @@ func (g *Generator) SnapshotsInto(dst []Snapshot) error {
 	for i := range dst {
 		batch[i] = core.Snapshot{Gaussian: dst[i].Gaussian, Envelopes: dst[i].Envelopes}
 	}
-	if err := g.inner.GenerateBatchInto(batch, g.workers); err != nil {
+	if err := g.backend.GenerateBatchInto(batch, g.workers); err != nil {
 		return fmt.Errorf("rayleigh: %w", err)
 	}
 	for i := range dst {
@@ -181,8 +275,15 @@ func (g *Generator) SnapshotsInto(dst []Snapshot) error {
 }
 
 // Diagnostics reports the covariance conditioning applied at construction.
+// Only the generalized method forces positive semi-definiteness; for the
+// conventional backends — which reject unsupported targets instead of
+// conditioning them — the zero value is returned.
 func (g *Generator) Diagnostics() Diagnostics {
-	return diagnosticsFromForced(g.inner.Diagnostics())
+	f := g.backend.Diagnostics()
+	if f == nil {
+		return Diagnostics{}
+	}
+	return diagnosticsFromForced(f)
 }
 
 // RealTime produces blocks of time-correlated envelopes: the cross-envelope
@@ -227,6 +328,13 @@ type RealTimeConfig struct {
 	// seeded run is bit-identical for every setting because every block draws
 	// from its own stream set, derived in block order before generation starts.
 	Parallel int
+	// Method selects the generation backend (same vocabulary and failure
+	// classes as Config.Method). A conventional method contributes its own
+	// coloring matrix to the Section 5 combination — and, for
+	// MethodSorooshyariDaut, its unit-variance whitening assumption, whose
+	// covariance bias is the defect the paper corrects. docs/methods.md
+	// documents each method's real-time semantics.
+	Method string
 }
 
 // Block is one block of M consecutive time samples for each of the N
@@ -240,20 +348,38 @@ type Block struct {
 
 // NewRealTime builds a RealTime generator.
 func NewRealTime(cfg RealTimeConfig) (*RealTime, error) {
-	k, err := toMatrix(cfg.Covariance)
+	coreCfg, err := realtimeCoreConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewRealTimeGenerator(core.RealTimeConfig{
-		Covariance:    k,
-		Filter:        doppler.FilterSpec{M: cfg.IDFTPoints, NormalizedDoppler: cfg.NormalizedDoppler},
-		InputVariance: cfg.InputVariance,
-		Seed:          cfg.Seed,
-	})
+	inner, err := core.NewRealTimeGenerator(coreCfg)
 	if err != nil {
 		return nil, fmt.Errorf("rayleigh: %w", err)
 	}
 	return &RealTime{inner: inner, workers: cfg.Parallel}, nil
+}
+
+// realtimeCoreConfig resolves a public real-time configuration into the core
+// one, threading the selected method's coloring construction (and, for the
+// Sorooshyari–Daut backend, its unit-variance whitening assumption) into the
+// Section 5 combination.
+func realtimeCoreConfig(cfg RealTimeConfig) (core.RealTimeConfig, error) {
+	k, err := toMatrix(cfg.Covariance)
+	if err != nil {
+		return core.RealTimeConfig{}, err
+	}
+	coloring, assumeUnit, err := backend.RealtimeOverride(cfg.Method, k)
+	if err != nil {
+		return core.RealTimeConfig{}, fmt.Errorf("rayleigh: %w", err)
+	}
+	return core.RealTimeConfig{
+		Covariance:         k,
+		Filter:             doppler.FilterSpec{M: cfg.IDFTPoints, NormalizedDoppler: cfg.NormalizedDoppler},
+		InputVariance:      cfg.InputVariance,
+		Seed:               cfg.Seed,
+		Coloring:           coloring,
+		AssumeUnitVariance: assumeUnit,
+	}, nil
 }
 
 // N returns the number of envelopes.
@@ -261,6 +387,11 @@ func (r *RealTime) N() int { return r.inner.N() }
 
 // BlockLength returns the number of time samples per block.
 func (r *RealTime) BlockLength() int { return r.inner.BlockLength() }
+
+// SampleVariance returns the σ²_g used in the whitening step: the Doppler
+// filter output variance of Eq. (19), or 1 under the Sorooshyari–Daut
+// backend's unit-variance assumption.
+func (r *RealTime) SampleVariance() float64 { return r.inner.SampleVariance() }
 
 // Block generates the next block of time-correlated envelopes.
 func (r *RealTime) Block() Block {

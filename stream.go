@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/doppler"
 )
 
 // Stream is a deterministic, random-access view of the real-time block
@@ -26,20 +25,15 @@ type Stream struct {
 	inner *core.RealTimeGenerator
 }
 
-// NewStream builds a Stream. Config semantics match NewRealTime, except that
-// Parallel is ignored: a Stream's parallelism is however many Cursors its
-// callers drive concurrently.
+// NewStream builds a Stream. Config semantics match NewRealTime (Method
+// included), except that Parallel is ignored: a Stream's parallelism is
+// however many Cursors its callers drive concurrently.
 func NewStream(cfg RealTimeConfig) (*Stream, error) {
-	k, err := toMatrix(cfg.Covariance)
+	coreCfg, err := realtimeCoreConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewRealTimeGenerator(core.RealTimeConfig{
-		Covariance:    k,
-		Filter:        doppler.FilterSpec{M: cfg.IDFTPoints, NormalizedDoppler: cfg.NormalizedDoppler},
-		InputVariance: cfg.InputVariance,
-		Seed:          cfg.Seed,
-	})
+	inner, err := core.NewRealTimeGenerator(coreCfg)
 	if err != nil {
 		return nil, fmt.Errorf("rayleigh: %w", err)
 	}
@@ -51,6 +45,11 @@ func (s *Stream) N() int { return s.inner.N() }
 
 // BlockLength returns the number of time samples per block.
 func (s *Stream) BlockLength() int { return s.inner.BlockLength() }
+
+// SampleVariance returns the σ²_g used in the whitening step: the Doppler
+// filter output variance of Eq. (19), or 1 under the Sorooshyari–Daut
+// backend's unit-variance assumption.
+func (s *Stream) SampleVariance() float64 { return s.inner.SampleVariance() }
 
 // TheoreticalAutocorrelation returns the designed per-envelope normalized
 // autocorrelation J0(2π·fm·lag).
