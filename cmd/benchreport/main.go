@@ -1,7 +1,8 @@
 // Command benchreport reruns the throughput benchmark families of the root
 // package (snapshot generation and real-time block generation, each at
 // N = 3 and N = 16, allocating and Into variants, plus the per-backend
-// batched paths of the method registry) through testing.Benchmark and writes
+// batched paths of the method registry and the fadingd session-create path
+// cold and warm against the setup cache) through testing.Benchmark and writes
 // the results as JSON: ns/op, allocs/op, bytes/op and the derived
 // samples/sec. The committed BENCH_core.json at the repository root is the
 // output of one run, giving future changes a perf trajectory to compare
@@ -31,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/doppler"
 	"repro/internal/scenario"
+	"repro/internal/service"
 )
 
 type result struct {
@@ -178,6 +180,54 @@ func backendBenchmarks(name string, k *cmplxmat.Matrix, methods []string) []resu
 	return out
 }
 
+// sessionCreateBenchmarks measures the fadingd session-create path, the
+// service-level counterpart of the loadtest churn mode: cold is a distinct
+// spec per op (every create pays the full covariance/eigen/Doppler-plan
+// setup), warm is one spec repeated (every create after the first reuses the
+// content-addressed setup artifact). The cold/warm gap is the cache's win
+// and is gated like every other family.
+func sessionCreateBenchmarks(n int) []result {
+	svc := service.New(service.Config{Workers: 1, MaxSessions: -1})
+	defer svc.Close()
+	mgr := svc.Manager()
+	spec := func(seed int64) *service.SessionSpec {
+		return &service.SessionSpec{
+			Model:      chanspec.Model{Type: chanspec.ModelExponential, N: n, Rho: 0.7},
+			Seed:       seed,
+			Blocks:     16,
+			IDFTPoints: 2048,
+		}
+	}
+	create := func(b *testing.B, s *service.SessionSpec) {
+		sess, err := mgr.Create(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr.Delete(sess.ID)
+	}
+	name := fmt.Sprintf("N=%d", n)
+	// The seed counter lives outside the closure: testing.Benchmark reruns
+	// it with growing b.N against the one shared server, and a restarted
+	// seed sequence would hit artifacts cached by earlier probe runs.
+	var coldSeed int64
+	return []result{
+		measure("SessionCreate/"+name+"/cold", 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				coldSeed++
+				create(b, spec(coldSeed))
+			}
+		}),
+		measure("SessionCreate/"+name+"/warm", 1, func(b *testing.B) {
+			warm := spec(-1)
+			create(b, warm) // prime the cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				create(b, warm)
+			}
+		}),
+	}
+}
+
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
 	os.Exit(1)
@@ -231,6 +281,7 @@ func main() {
 	rep.Benchmarks = append(rep.Benchmarks, backendBenchmarks("N=2", pair, []string{
 		chanspec.MethodErtelReed,
 	})...)
+	rep.Benchmarks = append(rep.Benchmarks, sessionCreateBenchmarks(16)...)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,7 +1,12 @@
-// Command loadtest is the fadingd load generator: it opens many concurrent
-// sessions, streams blocks as fast as the server will serve them for a fixed
-// duration, and reports sustained throughput (blocks/s, samples/s, MB/s) as
-// JSON so future changes can gate on regressions.
+// Command loadtest is the fadingd load generator. Its default (stream) mode
+// opens many concurrent sessions, streams blocks as fast as the server will
+// serve them for a fixed duration, and reports sustained throughput
+// (blocks/s, samples/s, MB/s) as JSON so future changes can gate on
+// regressions. Its churn mode (-churn) measures the session-creation path
+// instead: a cold phase where every create carries a fresh spec (each pays
+// the full O(N³) setup) and a warm phase where every create shares one spec
+// (each hits the server's content-addressed setup cache), reporting
+// creates/s for both and the warm/cold speedup.
 //
 // By default it starts an in-process fadingd on a loopback port, which
 // measures the service stack (session manager, worker pool, framing) without
@@ -11,7 +16,7 @@
 //
 //	loadtest [-addr http://host:port] [-sessions 4] [-duration 5s]
 //	         [-blocks-per-request 32] [-idft 1024] [-format bin]
-//	         [-workers N] [-o report.json]
+//	         [-workers N] [-churn] [-churn-n 24] [-o report.json]
 package main
 
 import (
@@ -32,86 +37,68 @@ import (
 	"repro/internal/service"
 )
 
+// options collects the flag values so the whole generator is drivable from
+// tests.
+type options struct {
+	addr     string
+	sessions int
+	duration time.Duration
+	perReq   int
+	idft     int
+	format   string
+	workers  int
+	churn    bool
+	churnN   int
+}
+
 // report is the JSON document written at exit.
 type report struct {
-	Addr             string  `json:"addr"`
-	InProcess        bool    `json:"in_process"`
-	Sessions         int     `json:"sessions"`
-	Format           string  `json:"format"`
-	IDFTPoints       int     `json:"idft_points"`
-	BlocksPerRequest int     `json:"blocks_per_request"`
-	Seconds          float64 `json:"seconds"`
-	Blocks           int64   `json:"blocks"`
-	Samples          int64   `json:"samples"`
-	Bytes            int64   `json:"bytes"`
-	BlocksPerSec     float64 `json:"blocks_per_sec"`
-	SamplesPerSec    float64 `json:"samples_per_sec"`
-	MBPerSec         float64 `json:"mb_per_sec"`
-	Requests         int64   `json:"requests"`
+	Addr             string       `json:"addr"`
+	InProcess        bool         `json:"in_process"`
+	Mode             string       `json:"mode"`
+	Sessions         int          `json:"sessions"`
+	Format           string       `json:"format,omitempty"`
+	IDFTPoints       int          `json:"idft_points,omitempty"`
+	BlocksPerRequest int          `json:"blocks_per_request,omitempty"`
+	Seconds          float64      `json:"seconds"`
+	Blocks           int64        `json:"blocks,omitempty"`
+	Samples          int64        `json:"samples,omitempty"`
+	Bytes            int64        `json:"bytes,omitempty"`
+	BlocksPerSec     float64      `json:"blocks_per_sec,omitempty"`
+	SamplesPerSec    float64      `json:"samples_per_sec,omitempty"`
+	MBPerSec         float64      `json:"mb_per_sec,omitempty"`
+	Requests         int64        `json:"requests,omitempty"`
+	Churn            *churnReport `json:"churn,omitempty"`
+}
+
+// churnReport is the session-churn section: creates/s with every create
+// missing the setup cache (cold) versus every create hitting it (warm).
+type churnReport struct {
+	ModelN            int     `json:"model_n"`
+	ColdCreates       int64   `json:"cold_creates"`
+	ColdCreatesPerSec float64 `json:"cold_creates_per_sec"`
+	WarmCreates       int64   `json:"warm_creates"`
+	WarmCreatesPerSec float64 `json:"warm_creates_per_sec"`
+	WarmSpeedup       float64 `json:"warm_speedup"`
 }
 
 func main() {
-	var (
-		addr     = flag.String("addr", "", "base URL of a running fadingd (empty = start one in-process)")
-		sessions = flag.Int("sessions", 4, "concurrent sessions")
-		duration = flag.Duration("duration", 5*time.Second, "measurement window")
-		perReq   = flag.Int("blocks-per-request", 32, "blocks streamed per request (resume loops the session)")
-		idft     = flag.Int("idft", 1024, "block length in samples")
-		format   = flag.String("format", service.FormatBinary, "stream format: bin or ndjson")
-		workers  = flag.Int("workers", 0, "in-process server pool size (0 = GOMAXPROCS)")
-		out      = flag.String("o", "", "also write the JSON report to this file")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "", "base URL of a running fadingd (empty = start one in-process)")
+	flag.IntVar(&o.sessions, "sessions", 4, "concurrent sessions (stream mode) or creator goroutines (churn mode)")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "measurement window (churn mode splits it between cold and warm)")
+	flag.IntVar(&o.perReq, "blocks-per-request", 32, "blocks streamed per request (resume loops the session; stream mode only)")
+	flag.IntVar(&o.idft, "idft", 1024, "block length in samples (both modes: streamed blocks, or the churn spec's setup size)")
+	flag.StringVar(&o.format, "format", service.FormatBinary, "stream format: bin or ndjson (stream mode only)")
+	flag.IntVar(&o.workers, "workers", 0, "in-process server pool size (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.churn, "churn", false, "measure session create/delete churn (cold vs warm setup cache) instead of streaming")
+	flag.IntVar(&o.churnN, "churn-n", 24, "envelope count of the churn-mode model (larger = heavier per-create setup)")
+	out := flag.String("o", "", "also write the JSON report to this file")
 	flag.Parse()
 
-	base := *addr
-	inProcess := base == ""
-	if inProcess {
-		svc := service.New(service.Config{Workers: *workers})
-		defer svc.Close()
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatalf("loadtest: listen: %v", err)
-		}
-		httpSrv := &http.Server{Handler: svc.Handler()}
-		go func() { _ = httpSrv.Serve(ln) }()
-		defer httpSrv.Close()
-		base = "http://" + ln.Addr().String()
-	}
-
-	var blocks, samples, bytesRead, requests atomic.Int64
-	deadline := time.Now().Add(*duration)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < *sessions; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if err := driveSession(base, int64(i), *idft, *perReq, *format, deadline,
-				&blocks, &samples, &bytesRead, &requests); err != nil {
-				log.Printf("loadtest: session %d: %v", i, err)
-			}
-		}(i)
-	}
-	wg.Wait()
-	elapsed := time.Since(start).Seconds()
-
-	r := report{
-		Addr:             base,
-		InProcess:        inProcess,
-		Sessions:         *sessions,
-		Format:           *format,
-		IDFTPoints:       *idft,
-		BlocksPerRequest: *perReq,
-		Seconds:          elapsed,
-		Blocks:           blocks.Load(),
-		Samples:          samples.Load(),
-		Bytes:            bytesRead.Load(),
-		Requests:         requests.Load(),
-	}
-	if elapsed > 0 {
-		r.BlocksPerSec = float64(r.Blocks) / elapsed
-		r.SamplesPerSec = float64(r.Samples) / elapsed
-		r.MBPerSec = float64(r.Bytes) / elapsed / (1 << 20)
+	r, err := run(o)
+	if err != nil {
+		log.Fatalf("loadtest: %v", err)
 	}
 	doc, _ := json.MarshalIndent(r, "", "  ")
 	doc = append(doc, '\n')
@@ -121,9 +108,194 @@ func main() {
 			log.Fatalf("loadtest: write %s: %v", *out, err)
 		}
 	}
-	if r.Blocks == 0 {
+	if !o.churn && r.Blocks == 0 {
 		log.Fatal("loadtest: no blocks served")
 	}
+	if o.churn && (r.Churn == nil || r.Churn.ColdCreates == 0 || r.Churn.WarmCreates == 0) {
+		log.Fatal("loadtest: churn phase created no sessions")
+	}
+}
+
+// run executes one measurement (stream or churn mode) and returns the report.
+func run(o options) (*report, error) {
+	base := o.addr
+	inProcess := base == ""
+	if inProcess {
+		svc := service.New(service.Config{Workers: o.workers})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("listen: %w", err)
+		}
+		httpSrv := &http.Server{Handler: svc.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+	}
+	r := &report{
+		Addr:      base,
+		InProcess: inProcess,
+		Sessions:  o.sessions,
+	}
+	if o.churn {
+		r.Mode = "churn"
+		r.IDFTPoints = o.idft
+		start := time.Now()
+		churn, err := runChurn(base, o.sessions, o.duration, o.churnN, o.idft)
+		if err != nil {
+			return nil, err
+		}
+		r.Seconds = time.Since(start).Seconds()
+		r.Churn = churn
+		return r, nil
+	}
+	r.Mode = "stream"
+	r.Format = o.format
+	r.IDFTPoints = o.idft
+	r.BlocksPerRequest = o.perReq
+
+	var blocks, samples, bytesRead, requests atomic.Int64
+	deadline := time.Now().Add(o.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := driveSession(base, int64(i), o.idft, o.perReq, o.format, deadline,
+				&blocks, &samples, &bytesRead, &requests); err != nil {
+				log.Printf("loadtest: session %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	r.Seconds = elapsed
+	r.Blocks = blocks.Load()
+	r.Samples = samples.Load()
+	r.Bytes = bytesRead.Load()
+	r.Requests = requests.Load()
+	if elapsed > 0 {
+		r.BlocksPerSec = float64(r.Blocks) / elapsed
+		r.SamplesPerSec = float64(r.Samples) / elapsed
+		r.MBPerSec = float64(r.Bytes) / elapsed / (1 << 20)
+	}
+	return r, nil
+}
+
+// churnSpec builds the churn-mode session spec: an N-envelope exponential
+// model at block length idft, whose setup cost (covariance assembly, eigen
+// decomposition, Doppler plan) dwarfs the per-session bookkeeping, so the
+// cold/warm gap isolates the setup cache.
+func churnSpec(n, idft int, seed int64) string {
+	return fmt.Sprintf(`{"model": {"type": "exponential", "n": %d, "rho": 0.7}, "seed": %d, "blocks": 16, "idft_points": %d}`, n, seed, idft)
+}
+
+// runChurn measures creates/s over two half-duration phases: cold (a fresh
+// seed per create, so every create performs the full setup) and warm (one
+// shared spec, so every create after the first is a cache hit). Every
+// created session is deleted immediately, keeping the table small so the
+// measurement never trips the capacity cap.
+func runChurn(base string, creators int, duration time.Duration, modelN, idft int) (*churnReport, error) {
+	var seedCounter atomic.Int64
+	cold, coldSecs, err := churnPhase(base, creators, duration/2, func() string {
+		return churnSpec(modelN, idft, seedCounter.Add(1))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cold phase: %w", err)
+	}
+	warmSpec := churnSpec(modelN, idft, -1)
+	warm, warmSecs, err := churnPhase(base, creators, duration/2, func() string {
+		return warmSpec
+	})
+	if err != nil {
+		return nil, fmt.Errorf("warm phase: %w", err)
+	}
+	r := &churnReport{ModelN: modelN, ColdCreates: cold, WarmCreates: warm}
+	if coldSecs > 0 {
+		r.ColdCreatesPerSec = float64(cold) / coldSecs
+	}
+	if warmSecs > 0 {
+		r.WarmCreatesPerSec = float64(warm) / warmSecs
+	}
+	if r.ColdCreatesPerSec > 0 {
+		r.WarmSpeedup = r.WarmCreatesPerSec / r.ColdCreatesPerSec
+	}
+	return r, nil
+}
+
+// churnPhase runs creators goroutines in a create+delete loop until the
+// phase deadline, returning the total create count and elapsed seconds.
+func churnPhase(base string, creators int, d time.Duration, spec func() string) (int64, float64, error) {
+	var creates atomic.Int64
+	errc := make(chan error, creators)
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < creators; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				info, err := createOnce(base, spec())
+				if err != nil {
+					errc <- err
+					return
+				}
+				creates.Add(1)
+				if err := deleteSession(base, info.ID); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	select {
+	case err := <-errc:
+		return creates.Load(), elapsed, err
+	default:
+	}
+	return creates.Load(), elapsed, nil
+}
+
+// createOnce POSTs one session spec and returns the created session's info
+// (the create response already carries the stream geometry).
+func createOnce(base, spec string) (*streamInfo, error) {
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		return nil, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("create session: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var info streamInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return nil, fmt.Errorf("decode session info: %w", err)
+	}
+	return &info, nil
+}
+
+// deleteSession closes one session so churn never fills the table.
+func deleteSession(base, id string) error {
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("delete session %s: status %d", id, resp.StatusCode)
+	}
+	return nil
 }
 
 // driveSession opens one session and streams ranges of it in a resume loop
@@ -132,23 +304,9 @@ func driveSession(base string, seed int64, idft, perReq int, format string, dead
 	blocks, samples, bytesRead, requests *atomic.Int64) error {
 	spec := fmt.Sprintf(`{"model": {"type": "eq22"}, "seed": %d, "blocks": %d, "idft_points": %d}`,
 		seed, 1<<20, idft)
-	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader([]byte(spec)))
+	info, err := createOnce(base, spec)
 	if err != nil {
 		return err
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return fmt.Errorf("create session: status %d: %s", resp.StatusCode, body)
-	}
-	var info struct {
-		ID          string `json:"id"`
-		N           int    `json:"n"`
-		BlockLength int    `json:"block_length"`
-		Blocks      int    `json:"blocks"`
-	}
-	if err := json.Unmarshal(body, &info); err != nil {
-		return fmt.Errorf("decode session info: %w", err)
 	}
 
 	from := 0
@@ -179,6 +337,14 @@ func driveSession(base string, seed int64, idft, perReq int, format string, dead
 		from += perReq
 	}
 	return nil
+}
+
+// streamInfo is the slice of the create response the generator needs.
+type streamInfo struct {
+	ID          string `json:"id"`
+	N           int    `json:"n"`
+	BlockLength int    `json:"block_length"`
+	Blocks      int    `json:"blocks"`
 }
 
 // consume drains one stream response, returning the block count and bytes.

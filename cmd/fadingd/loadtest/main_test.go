@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// newBackend starts an in-process fadingd behind httptest and returns its
+// base URL.
+func newBackend(t *testing.T) string {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts.URL
+}
+
+// TestRunStreamMode smoke-tests the default mode end to end against a tiny
+// server: the report must count real traffic and round-trip through JSON
+// with the documented shape.
+func TestRunStreamMode(t *testing.T) {
+	r, err := run(options{
+		addr:     newBackend(t),
+		sessions: 2,
+		duration: 300 * time.Millisecond,
+		perReq:   4,
+		idft:     64,
+		format:   service.FormatBinary,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if r.Mode != "stream" || r.InProcess {
+		t.Fatalf("report mode/in_process = %q/%v, want stream/false", r.Mode, r.InProcess)
+	}
+	if r.Blocks == 0 || r.Bytes == 0 || r.Requests == 0 {
+		t.Fatalf("no traffic recorded: %+v", r)
+	}
+	if r.BlocksPerSec <= 0 || r.SamplesPerSec <= 0 {
+		t.Fatalf("derived rates missing: %+v", r)
+	}
+
+	doc, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(doc, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"addr", "mode", "seconds", "blocks", "blocks_per_sec"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("report JSON missing %q: %s", key, doc)
+		}
+	}
+	if _, ok := decoded["churn"]; ok {
+		t.Errorf("stream-mode report carries a churn section: %s", doc)
+	}
+}
+
+// TestRunChurnMode smoke-tests the churn mode: both phases must create
+// sessions, the warm phase must be measurably faster than the cold one
+// (every warm create after the first hits the setup cache), and the JSON
+// report must carry the churn section.
+func TestRunChurnMode(t *testing.T) {
+	r, err := run(options{
+		addr:     newBackend(t),
+		sessions: 2,
+		duration: 1200 * time.Millisecond,
+		idft:     1024,
+		churn:    true,
+		churnN:   16,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if r.Mode != "churn" || r.Churn == nil {
+		t.Fatalf("churn report missing: %+v", r)
+	}
+	c := r.Churn
+	if c.ColdCreates == 0 || c.WarmCreates == 0 {
+		t.Fatalf("churn phases idle: %+v", c)
+	}
+	// The acceptance floor (>= 5x) is asserted at full duration in CI; a
+	// sub-second smoke run still must show the cache winning outright.
+	if c.WarmSpeedup <= 1 {
+		t.Fatalf("warm creates (%.0f/s) not faster than cold (%.0f/s)", c.WarmCreatesPerSec, c.ColdCreatesPerSec)
+	}
+
+	doc, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	var decoded struct {
+		Churn struct {
+			ColdCreatesPerSec float64 `json:"cold_creates_per_sec"`
+			WarmCreatesPerSec float64 `json:"warm_creates_per_sec"`
+			WarmSpeedup       float64 `json:"warm_speedup"`
+		} `json:"churn"`
+	}
+	if err := json.Unmarshal(doc, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if decoded.Churn.WarmSpeedup != c.WarmSpeedup {
+		t.Fatalf("churn section did not round-trip: %s", doc)
+	}
+}
+
+// TestChurnSpecIsAccepted guards the churn-mode spec literal against drift
+// in the spec schema: it must parse and validate under the default limits.
+func TestChurnSpecIsAccepted(t *testing.T) {
+	base := newBackend(t)
+	info, err := createOnce(base, churnSpec(16, 1024, 1))
+	if err != nil {
+		t.Fatalf("churn spec rejected: %v", err)
+	}
+	if info.N != 16 || info.Blocks != 16 {
+		t.Fatalf("unexpected geometry: %+v", info)
+	}
+	if err := deleteSession(base, info.ID); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+}

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	fadingd [-addr :8080] [-workers N] [-queue N] [-window N]
-//	        [-session-ttl 5m] [-max-sessions 256]
+//	        [-session-ttl 5m] [-max-sessions 256] [-shards N] [-cache-specs 256]
 //	        [-max-envelopes 64] [-max-blocks 1048576] [-max-idft 65536]
 package main
 
@@ -37,6 +37,8 @@ func main() {
 		window       = flag.Int("window", 0, "per-stream in-flight block budget (0 = 4)")
 		sessionTTL   = flag.Duration("session-ttl", 5*time.Minute, "evict sessions idle longer than this")
 		maxSessions  = flag.Int("max-sessions", 256, "session table capacity")
+		shards       = flag.Int("shards", 0, "session table shard count, rounded up to a power of two (0 = cover GOMAXPROCS)")
+		cacheSpecs   = flag.Int("cache-specs", 0, "max cached per-spec setup artifacts shared across sessions (0 = 256, negative disables)")
 		maxEnvelopes = flag.Int("max-envelopes", 0, "largest model N a spec may request (0 = 64)")
 		maxBlocks    = flag.Int("max-blocks", 0, "longest stream a spec may request (0 = 1<<20)")
 		maxIDFT      = flag.Int("max-idft", 0, "largest block length a spec may request (0 = 1<<16)")
@@ -49,6 +51,8 @@ func main() {
 		Window:      *window,
 		SessionTTL:  *sessionTTL,
 		MaxSessions: *maxSessions,
+		Shards:      *shards,
+		CacheSpecs:  *cacheSpecs,
 		Limits: service.Limits{
 			MaxEnvelopes:  *maxEnvelopes,
 			MaxBlocks:     *maxBlocks,

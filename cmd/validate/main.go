@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/scenario"
@@ -35,23 +36,29 @@ func main() {
 		blocks = flag.Int("blocks", 20, "real-time blocks for the Doppler checks")
 	)
 	flag.Parse()
+	os.Exit(run(*seed, *draws, *blocks, os.Stdout, os.Stderr))
+}
 
-	specs := experimentSpecs(*seed, *draws, *blocks)
+// run executes the experiment suite and returns the process exit code:
+// 0 all gates passed, 1 a gate failed, 2 an experiment could not run at all.
+func run(seed int64, draws, blocks int, stdout, stderr io.Writer) int {
+	specs := experimentSpecs(seed, draws, blocks)
 	results := make([]*scenario.Result, 0, len(specs))
 	for _, s := range specs {
 		res, err := scenario.Run(s)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "validate: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "validate: %v\n", err)
+			return 2
 		}
 		results = append(results, res)
 	}
 	report := scenario.NewReport(results)
-	fmt.Print(report.Markdown())
+	fmt.Fprint(stdout, report.Markdown())
 	if !report.AllPassed() {
-		fmt.Fprintf(os.Stderr, "validate: %d of %d experiments FAILED\n", report.Failed, report.Total)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "validate: %d of %d experiments FAILED\n", report.Failed, report.Total)
+		return 1
 	}
+	return 0
 }
 
 // experimentSpecs builds the E5–E9 experiments as scenario specs.

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestExperimentSpecsShape pins the suite's composition: the five
+// experiments of EXPERIMENTS.md, each with a seed derived from the base and
+// at least one assertion, and the parameters threaded through.
+func TestExperimentSpecsShape(t *testing.T) {
+	specs := experimentSpecs(10, 5000, 4)
+	wantNames := []string{
+		"E5-E9-snapshot-statistics",
+		"E6-indefinite-covariance",
+		"E7-doppler-variance-corrected",
+		"E7-doppler-unit-variance-defect",
+		"E8-doppler-autocorrelation",
+	}
+	if len(specs) != len(wantNames) {
+		t.Fatalf("experimentSpecs returned %d specs, want %d", len(specs), len(wantNames))
+	}
+	for i, s := range specs {
+		if s.Name != wantNames[i] {
+			t.Errorf("spec %d named %q, want %q", i, s.Name, wantNames[i])
+		}
+		if len(s.Assertions) == 0 {
+			t.Errorf("spec %q has no assertions", s.Name)
+		}
+	}
+	if specs[0].Generation.Draws != 5000 {
+		t.Errorf("draws not threaded through: %d", specs[0].Generation.Draws)
+	}
+	if specs[2].Generation.Blocks != 4 {
+		t.Errorf("blocks not threaded through: %d", specs[2].Generation.Blocks)
+	}
+	if specs[0].Seed == specs[1].Seed {
+		t.Error("experiments share one seed")
+	}
+}
+
+// TestRunSmoke drives the command's whole code path at a tiny draw count
+// against the real engine: it must complete (exit code 0 or 1 — tolerances
+// are calibrated for the default draws, so a statistical miss is acceptable
+// here, an engine error is not) and emit the per-experiment markdown report.
+func TestRunSmoke(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run(1, 4000, 3, &stdout, &stderr)
+	if code == 2 {
+		t.Fatalf("run failed to execute: %s", stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"E6-indefinite-covariance", "E8-doppler-autocorrelation", "scenarios passed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunReportJSONShape runs one cheap experiment through the same engine
+// the command uses and checks the machine-readable report shape the exit
+// code is derived from.
+func TestRunReportJSONShape(t *testing.T) {
+	specs := experimentSpecs(1, 4000, 3)
+	res, err := scenario.Run(specs[1]) // E6: assertions are draw-independent
+	if err != nil {
+		t.Fatalf("scenario.Run: %v", err)
+	}
+	report := scenario.NewReport([]*scenario.Result{res})
+	doc, err := report.JSON()
+	if err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	for _, want := range []string{`"total": 1`, `"E6-indefinite-covariance"`} {
+		if !strings.Contains(string(doc), want) {
+			t.Errorf("report JSON missing %s:\n%s", want, doc)
+		}
+	}
+	if report.Total != 1 || report.Passed+report.Failed != 1 {
+		t.Fatalf("report counts inconsistent: %+v", report)
+	}
+}

@@ -100,9 +100,13 @@
 // service: sessions are created from the same correlation-model and method
 // vocabulary the scenario files use, and their block streams are
 // deterministic and resumable (?from=k is byte-identical to the tail of a
-// from-0 stream, at any server worker count). Endpoints, the spec schema,
-// the binary frame layout and capacity tuning are documented in
-// docs/service.md; a load generator lives in cmd/fadingd/loadtest. A
+// from-0 stream, at any server worker count). The session table is sharded
+// for concurrent churn, and sessions with equal specs share one immutable
+// generation artifact through a content-addressed setup cache, so only the
+// first create of a spec pays the O(N³) setup. Endpoints, the spec schema,
+// the binary frame layout, the sharding/cache design and capacity tuning are
+// documented in docs/service.md; a load generator (with a session-churn
+// mode) lives in cmd/fadingd/loadtest. A
 // repository-level overview (architecture map, quickstart, methods table)
 // lives in README.md.
 package rayleigh

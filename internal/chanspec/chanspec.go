@@ -101,6 +101,46 @@ func (c *Complex) UnmarshalJSON(b []byte) error {
 	return fmt.Errorf("chanspec: complex value must be [re, im] or a number, got %s: %w", b, ErrBadSpec)
 }
 
+// Canonical returns the model's canonical JSON encoding: fixed field order,
+// zero fields omitted, parameters the model type ignores dropped, and
+// defaults resolved (Power 0 reads as 1, eq22's fixed N as omitted). Two
+// valid models describing the same channel encode to the same bytes, which
+// makes the encoding a content address — the fadingd setup cache hashes it
+// to share generation state across sessions with equal specs. Models that
+// fail Validate are encoded raw.
+func (m *Model) Canonical() []byte {
+	c := Model{Type: m.Type, N: m.N, Power: m.Power}
+	if c.Power == 0 {
+		c.Power = 1
+	}
+	switch m.Type {
+	case ModelEq22:
+		// N is fixed at 3 whether spelled out or omitted, and the printed
+		// matrix ignores Power.
+		c.N, c.Power = 0, 0
+	case ModelIdentity:
+	case ModelExplicit:
+		// N is inferred from the rows and Power is ignored.
+		c.N, c.Power = 0, 0
+		c.Covariance = m.Covariance
+	case ModelExponential:
+		c.Rho, c.PhaseRad = m.Rho, m.PhaseRad
+	case ModelConstant:
+		c.Rho = m.Rho
+	case ModelSpectral:
+		c.CarrierSpacingHz, c.MaxDopplerHz = m.CarrierSpacingHz, m.MaxDopplerHz
+		c.RMSDelaySpreadS, c.DelayStepS = m.RMSDelaySpreadS, m.DelayStepS
+	case ModelSpatial:
+		c.SpacingWavelengths = m.SpacingWavelengths
+		c.AngularSpreadRad, c.MeanAngleRad = m.AngularSpreadRad, m.MeanAngleRad
+	default:
+		c = *m
+	}
+	// Model contains only marshal-safe fields, so encoding cannot fail.
+	b, _ := json.Marshal(&c)
+	return b
+}
+
 // Validate checks the model for structural consistency without touching any
 // random stream.
 func (m *Model) Validate() error {

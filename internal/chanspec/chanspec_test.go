@@ -82,3 +82,61 @@ func TestBuildShapes(t *testing.T) {
 		t.Fatalf("Eq22Covariance[0][1] = %v", got)
 	}
 }
+
+// TestCanonicalResolvesDefaultsAndIgnoredFields pins the content-address
+// contract: two valid models describing the same channel must encode to the
+// same canonical bytes — defaults resolved, type-irrelevant parameters
+// dropped — while genuinely different channels must not collide.
+func TestCanonicalResolvesDefaultsAndIgnoredFields(t *testing.T) {
+	same := []struct {
+		name string
+		a, b Model
+	}{
+		{"identity power default", Model{Type: ModelIdentity, N: 4}, Model{Type: ModelIdentity, N: 4, Power: 1}},
+		{"eq22 fixed n", Model{Type: ModelEq22}, Model{Type: ModelEq22, N: 3}},
+		{"eq22 ignores power", Model{Type: ModelEq22}, Model{Type: ModelEq22, Power: 2}},
+		{"identity ignores rho", Model{Type: ModelIdentity, N: 4}, Model{Type: ModelIdentity, N: 4, Rho: 0.5}},
+		{"exponential power default", Model{Type: ModelExponential, N: 4, Rho: 0.6}, Model{Type: ModelExponential, N: 4, Rho: 0.6, Power: 1}},
+	}
+	for _, tc := range same {
+		if a, b := string(tc.a.Canonical()), string(tc.b.Canonical()); a != b {
+			t.Errorf("%s: canonical bytes differ:\n  %s\n  %s", tc.name, a, b)
+		}
+	}
+	diff := []struct {
+		name string
+		a, b Model
+	}{
+		{"power", Model{Type: ModelIdentity, N: 4}, Model{Type: ModelIdentity, N: 4, Power: 2}},
+		{"n", Model{Type: ModelIdentity, N: 4}, Model{Type: ModelIdentity, N: 5}},
+		{"type", Model{Type: ModelExponential, N: 3, Rho: 0.5}, Model{Type: ModelConstant, N: 3, Rho: 0.5}},
+		{"phase", Model{Type: ModelExponential, N: 3, Rho: 0.5}, Model{Type: ModelExponential, N: 3, Rho: 0.5, PhaseRad: 0.1}},
+	}
+	for _, tc := range diff {
+		if a, b := string(tc.a.Canonical()), string(tc.b.Canonical()); a == b {
+			t.Errorf("%s: distinct channels collide on canonical bytes %s", tc.name, a)
+		}
+	}
+	// Every canonical encoding a valid model produces must itself build the
+	// same covariance as the original.
+	m := Model{Type: ModelSpatial, N: 3, SpacingWavelengths: 1, AngularSpreadRad: 0.17}
+	var round Model
+	if err := json.Unmarshal(m.Canonical(), &round); err != nil {
+		t.Fatalf("canonical bytes are not a valid Model: %v", err)
+	}
+	want, err := m.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	got, err := round.Build()
+	if err != nil {
+		t.Fatalf("Build(canonical round-trip): %v", err)
+	}
+	for i := 0; i < want.Rows(); i++ {
+		for j := 0; j < want.Cols(); j++ {
+			if want.At(i, j) != got.At(i, j) {
+				t.Fatalf("round-tripped covariance differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -3,60 +3,135 @@ package service
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // ErrSessionLimit reports that the session table is full.
 var ErrSessionLimit = errors.New("service: session limit reached")
 
-// Manager owns the session table: creation against a capacity cap, lookup
-// with TTL touching, explicit deletion, and idle eviction. All methods are
-// safe for concurrent use.
+// ErrShuttingDown reports a create that lost the race against CloseAll.
+var ErrShuttingDown = errors.New("service: server shutting down")
+
+// Manager owns the session table: creation against a capacity cap (with
+// setup-artifact caching), lookup with TTL touching, explicit deletion, and
+// idle eviction. The table is sharded — a power-of-two array of
+// independently locked maps, FNV-1a over the session ID picking the shard —
+// so session churn from many concurrent clients never serializes on one
+// mutex. All methods are safe for concurrent use.
 type Manager struct {
-	mu       sync.Mutex
-	sessions map[string]*Session
-	ttl      time.Duration
-	max      int
-	freeList int
-	now      func() time.Time
-	metrics  *metrics
+	shards    []managerShard
+	mask      uint32
+	count     atomic.Int64 // live sessions across all shards
+	lastSweep atomic.Int64 // unix nanoseconds of the latest sweep start
+	closed    atomic.Bool  // set by CloseAll; rejects late creates
+	ttl       time.Duration
+	max       int
+	freeList  int
+	now       func() time.Time
+	metrics   *metrics
+	cache     *setupCache
 }
 
-// newManager builds a Manager. now is injectable for eviction tests.
-func newManager(ttl time.Duration, max, freeList int, now func() time.Time, m *metrics) *Manager {
-	return &Manager{
-		sessions: make(map[string]*Session),
+// managerShard is one independently locked slice of the session table.
+type managerShard struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// newManager builds a Manager with the given shard count (rounded up to a
+// power of two, minimum 1). now is injectable for eviction tests.
+func newManager(shards int, ttl time.Duration, max, freeList int, now func() time.Time, m *metrics, cache *setupCache) *Manager {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	mgr := &Manager{
+		shards:   make([]managerShard, n),
+		mask:     uint32(n - 1),
 		ttl:      ttl,
 		max:      max,
 		freeList: freeList,
 		now:      now,
 		metrics:  m,
+		cache:    cache,
 	}
+	for i := range mgr.shards {
+		mgr.shards[i].sessions = make(map[string]*Session)
+	}
+	return mgr
 }
 
+// shardFor picks the shard owning a session ID.
+func (m *Manager) shardFor(id string) *managerShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return &m.shards[h.Sum32()&m.mask]
+}
+
+// opportunisticSweepGap bounds how often the create path may fall back to a
+// full-table sweep: rejected creates against a genuinely full table must
+// stay O(1), not hand every anonymous client a lock-every-shard scan.
+const opportunisticSweepGap = time.Second
+
 // Create validates nothing — the caller parses and validates the spec — and
-// builds plus registers a session.
+// builds plus registers a session, sharing the spec's setup artifact through
+// the cache. When the table is full it sweeps opportunistically (at most
+// once per opportunisticSweepGap across all creates) before giving up, so a
+// table full of expired sessions never blocks new work until the janitor's
+// next tick, while a full table of live ones keeps rejecting cheaply.
 func (m *Manager) Create(spec *SessionSpec) (*Session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.max > 0 && len(m.sessions) >= m.max {
-		return nil, fmt.Errorf("%w (%d active)", ErrSessionLimit, len(m.sessions))
+	if !m.reserve() {
+		if !m.trySweep() || !m.reserve() {
+			return nil, fmt.Errorf("%w (%d active)", ErrSessionLimit, m.Len())
+		}
 	}
-	s, err := newSession(spec, m.freeList, m.now())
+	stream, err := m.cache.stream(spec)
 	if err != nil {
+		m.count.Add(-1)
 		return nil, err
 	}
-	m.sessions[s.ID] = s
+	s := newSession(spec, stream, m.freeList, m.now())
+	sh := m.shardFor(s.ID)
+	sh.mu.Lock()
+	if m.closed.Load() {
+		// The setup ran outside any lock, so CloseAll may have drained this
+		// shard in the meantime; inserting now would leak an unclosable
+		// session. The check happens under the shard lock: either CloseAll
+		// has not swept this shard yet (and will remove the session), or the
+		// flag is already visible here.
+		sh.mu.Unlock()
+		m.count.Add(-1)
+		s.close()
+		return nil, ErrShuttingDown
+	}
+	sh.sessions[s.ID] = s
+	sh.mu.Unlock()
 	m.metrics.sessionsCreated.Add(1)
 	return s, nil
 }
 
-// Get returns the session and marks it active.
+// reserve claims one slot against the capacity cap, undoing the claim when
+// the table is full. Claim-then-check keeps concurrent creates from
+// overshooting the cap without a global lock.
+func (m *Manager) reserve() bool {
+	if n := m.count.Add(1); m.max > 0 && n > int64(m.max) {
+		m.count.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Get returns the session and marks it active. The touch happens under the
+// shard lock, so it cannot race a concurrent Delete/Sweep closing the
+// session (a touched session is by definition still in the table).
 func (m *Manager) Get(id string) (*Session, bool) {
-	m.mu.Lock()
-	s, ok := m.sessions[id]
-	m.mu.Unlock()
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[id]
 	if !ok {
 		return nil, false
 	}
@@ -64,58 +139,115 @@ func (m *Manager) Get(id string) (*Session, bool) {
 	return s, true
 }
 
+// GetForStream is Get for the streaming path: it additionally acquires a
+// stream reference under the shard lock, pinning the session against TTL
+// eviction for as long as the stream is live. The caller must release with
+// Session.endStream once the stream finishes.
+func (m *Manager) GetForStream(id string) (*Session, bool) {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	s.touch(m.now())
+	s.streams.Add(1)
+	return s, true
+}
+
 // Delete removes and closes a session, terminating its in-flight streams.
+// Unlike TTL eviction, an explicit delete is never deferred by active
+// streams: the client asked for the session to die.
 func (m *Manager) Delete(id string) bool {
-	m.mu.Lock()
-	s, ok := m.sessions[id]
-	delete(m.sessions, id)
-	m.mu.Unlock()
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
 	if !ok {
 		return false
 	}
+	m.count.Add(-1)
 	s.close()
 	m.metrics.sessionsDeleted.Add(1)
 	return true
 }
 
+// trySweep runs one sweep on behalf of a rejected create, unless another
+// sweep started within the gap (then the claim fails and the create is
+// turned away — the janitor catches up). The CAS makes concurrent rejected
+// creates elect a single sweeper. It reports whether a sweep freed capacity.
+func (m *Manager) trySweep() bool {
+	last := m.lastSweep.Load()
+	now := m.now().UnixNano()
+	if now-last < int64(opportunisticSweepGap) || !m.lastSweep.CompareAndSwap(last, now) {
+		return false
+	}
+	return m.Sweep() > 0
+}
+
 // Sweep evicts every session idle longer than the TTL and returns how many
-// it removed. In-flight streams of an evicted session terminate at their
-// next block boundary.
+// it removed. Sessions with active streams are pinned: a consumer slower
+// than the TTL keeps its session alive, and the idle clock restarts when its
+// last stream ends.
 func (m *Manager) Sweep() int {
 	now := m.now()
+	m.lastSweep.Store(now.UnixNano())
 	var victims []*Session
-	m.mu.Lock()
-	for id, s := range m.sessions {
-		if s.idle(now) > m.ttl {
-			delete(m.sessions, id)
-			victims = append(victims, s)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.sessions {
+			if s.streams.Load() == 0 && s.idle(now) > m.ttl {
+				delete(sh.sessions, id)
+				victims = append(victims, s)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	for _, s := range victims {
 		s.close()
 	}
+	m.count.Add(-int64(len(victims)))
 	m.metrics.sessionsEvicted.Add(int64(len(victims)))
 	return len(victims)
 }
 
 // Len returns the number of live sessions.
 func (m *Manager) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.sessions)
+	return int(m.count.Load())
 }
 
-// CloseAll empties the table, terminating every stream (shutdown path).
-func (m *Manager) CloseAll() {
-	m.mu.Lock()
-	victims := make([]*Session, 0, len(m.sessions))
-	for id, s := range m.sessions {
-		delete(m.sessions, id)
-		victims = append(victims, s)
+// ShardSizes returns the per-shard session counts (the /metrics gauges and
+// the shard-balance view for operational tooling).
+func (m *Manager) ShardSizes() []int {
+	sizes := make([]int, len(m.shards))
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sizes[i] = len(sh.sessions)
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
-	for _, s := range victims {
-		s.close()
+	return sizes
+}
+
+// CloseAll empties the table, terminating every stream, and turns away any
+// create still mid-setup (shutdown path).
+func (m *Manager) CloseAll() {
+	m.closed.Store(true)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		victims := make([]*Session, 0, len(sh.sessions))
+		for id, s := range sh.sessions {
+			delete(sh.sessions, id)
+			victims = append(victims, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range victims {
+			s.close()
+		}
+		m.count.Add(-int64(len(victims)))
 	}
 }

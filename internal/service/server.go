@@ -33,6 +33,14 @@ type Config struct {
 	SweepInterval time.Duration
 	// MaxSessions caps the session table. Default 256.
 	MaxSessions int
+	// Shards is the session-table shard count, rounded up to a power of two.
+	// Default: the smallest power of two covering GOMAXPROCS.
+	Shards int
+	// CacheSpecs bounds the content-addressed setup cache: at most this many
+	// spec setup artifacts (coloring root, Doppler plan — one immutable
+	// Stream per distinct spec hash) are kept for reuse across sessions.
+	// Default 256; negative disables caching.
+	CacheSpecs int
 	// Limits bounds what one spec may request.
 	Limits Limits
 
@@ -59,6 +67,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessions == 0 {
 		c.MaxSessions = 256
 	}
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSpecs == 0 {
+		c.CacheSpecs = 256
+	}
 	c.Limits = c.Limits.withDefaults()
 	if c.now == nil {
 		c.now = time.Now
@@ -74,6 +88,7 @@ type Server struct {
 	cfg      Config
 	manager  *Manager
 	pool     *pool
+	cache    *setupCache
 	metrics  *metrics
 	mux      *http.ServeMux
 	shutdown chan struct{}
@@ -86,12 +101,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := &metrics{start: cfg.now()}
+	cache := newSetupCache(cfg.CacheSpecs, m)
 	s := &Server{
 		cfg: cfg,
 		// Free lists sized to the worker count keep a fully fanned-out
 		// session recycling instead of allocating.
-		manager:  newManager(cfg.SessionTTL, cfg.MaxSessions, cfg.Workers+cfg.Window, cfg.now, m),
+		manager:  newManager(cfg.Shards, cfg.SessionTTL, cfg.MaxSessions, cfg.Workers+cfg.Window, cfg.now, m, cache),
 		pool:     newPool(cfg.Workers, cfg.QueueDepth),
+		cache:    cache,
 		metrics:  m,
 		mux:      http.NewServeMux(),
 		shutdown: make(chan struct{}),
@@ -177,7 +194,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.metrics.specsRejected.Add(1)
 		status := http.StatusBadRequest
-		if errors.Is(err, ErrSessionLimit) {
+		if errors.Is(err, ErrSessionLimit) || errors.Is(err, ErrShuttingDown) {
 			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)
@@ -238,20 +255,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, s.manager.Len(), s.pool.queueDepth(), s.cfg.now())
+	s.metrics.write(w, s.manager.Len(), s.pool.queueDepth(), s.manager.ShardSizes(), s.cache.size(), s.cfg.now())
 }
+
+// trailerBlocksSent is the HTTP trailer carrying the number of blocks
+// actually written. The X-Fadingd-Blocks header is a promise made before the
+// first byte; a pool shutdown, eviction-by-DELETE or generation error
+// mid-stream can only truncate the body, so the trailer is the in-band
+// signal that lets a client distinguish a complete stream from a cut one.
+const trailerBlocksSent = "X-Fadingd-Blocks-Sent"
 
 // handleStream serves blocks [from, from+count) of a session as NDJSON or
 // binary frames, flushing after every block. Block generation is pipelined
 // through the shared pool with a window of in-flight jobs; blocks are
 // written strictly in order, so the concatenated payload of any combination
 // of resumed ranges is byte-identical to one from-0 pass.
+//
+// The session is touched once at stream start and once at stream end — never
+// per block — and holds a stream reference in between, so TTL eviction can
+// never cut a live stream no matter how slowly the client reads.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.manager.Get(r.PathValue("id"))
+	sess, ok := s.manager.GetForStream(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("service: unknown session"))
 		return
 	}
+	// Closure, not a direct defer: the release must read the clock at stream
+	// end, and defer evaluates direct arguments at registration time.
+	defer func() { sess.endStream(s.cfg.now()) }()
 	q := r.URL.Query()
 	from := uint64(0)
 	if v := q.Get("from"); v != "" {
@@ -296,12 +327,20 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Fadingd-Session", sess.ID)
 	w.Header().Set("X-Fadingd-From", strconv.FormatUint(from, 10))
 	w.Header().Set("X-Fadingd-Blocks", strconv.FormatUint(end-from, 10))
+	// Predeclare the truncation-detection trailer; its value is committed
+	// when the handler returns, after the last body byte.
+	w.Header().Set("Trailer", trailerBlocksSent)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
 	s.metrics.streamsStarted.Add(1)
 	s.metrics.activeStreams.Add(1)
 	defer s.metrics.activeStreams.Add(-1)
+
+	var sent uint64
+	defer func() {
+		w.Header().Set(trailerBlocksSent, strconv.FormatUint(sent, 10))
+	}()
 
 	enc := newFrameEncoder(format)
 	ctx := r.Context()
@@ -342,9 +381,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return
 		}
+		sent++
 		s.metrics.blocksServed.Add(1)
 		s.metrics.samplesServed.Add(int64(sess.N() * sess.BlockLength()))
-		sess.touch(s.cfg.now())
 		sess.releaseJob(job)
 		if flusher != nil {
 			flusher.Flush()

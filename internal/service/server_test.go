@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -386,10 +387,69 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"fadingd_blocks_served_total 8",
 		"fadingd_queue_depth ",
 		"fadingd_blocks_per_second ",
+		"fadingd_spec_cache_hits_total 0",
+		"fadingd_spec_cache_misses_total 1",
+		"fadingd_spec_cache_size 1",
+		"fadingd_shard_sessions{shard=\"0\"} ",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestStreamTrailerReportsSentBlocks pins the truncation contract: the
+// X-Fadingd-Blocks header is a pre-stream promise, and the
+// X-Fadingd-Blocks-Sent trailer is the post-stream truth. On a complete
+// stream they agree; on a stream cut mid-flight (deletion, shutdown, a
+// failed generation) the trailer carries the smaller count a client can use
+// to detect the truncation.
+func TestStreamTrailerReportsSentBlocks(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, Window: 2})
+
+	// Complete stream: trailer == promised header.
+	id := createSession(t, ts.URL, testSpec).ID
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/stream?format=bin")
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	// The client promotes announced trailers into resp.Trailer before the
+	// body is read; the key's presence proves the server declared it.
+	if _, announced := resp.Trailer["X-Fadingd-Blocks-Sent"]; !announced {
+		t.Fatalf("response does not announce the X-Fadingd-Blocks-Sent trailer (Trailer map %v)", resp.Trailer)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp.Body.Close()
+	promised := resp.Header.Get("X-Fadingd-Blocks")
+	if sent := resp.Trailer.Get("X-Fadingd-Blocks-Sent"); sent != promised || sent != "8" {
+		t.Fatalf("complete stream: sent trailer %q, promised header %q, want both \"8\"", sent, promised)
+	}
+
+	// Truncated stream: delete the session mid-read; the trailer must report
+	// fewer blocks than promised.
+	id = createSession(t, ts.URL, `{"model": {"type": "eq22"}, "seed": 7, "blocks": 100000, "idft_points": 256}`).ID
+	resp, err = http.Get(ts.URL + "/v1/sessions/" + id + "/stream?format=bin")
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if _, _, _, err := DecodeBinaryFrame(resp.Body); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if !s.Manager().Delete(id) {
+		t.Fatal("Delete returned false for a live session")
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatalf("drain truncated stream: %v", err)
+	}
+	sent, err := strconv.Atoi(resp.Trailer.Get("X-Fadingd-Blocks-Sent"))
+	if err != nil {
+		t.Fatalf("truncated stream: bad X-Fadingd-Blocks-Sent trailer %q", resp.Trailer.Get("X-Fadingd-Blocks-Sent"))
+	}
+	if sent < 1 || sent >= 100000 {
+		t.Fatalf("truncated stream reported %d blocks sent, want 1 <= sent < 100000", sent)
 	}
 }
 
@@ -405,10 +465,11 @@ func TestServiceGenerationPathNoAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseSpec: %v", err)
 	}
-	sess, err := newSession(spec, 4, time.Now())
+	stream, err := buildStream(spec)
 	if err != nil {
-		t.Fatalf("newSession: %v", err)
+		t.Fatalf("buildStream: %v", err)
 	}
+	sess := newSession(spec, stream, 4, time.Now())
 	p := newPool(1, 2)
 	defer p.close()
 	enc := &binaryEncoder{}

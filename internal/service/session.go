@@ -29,6 +29,11 @@ type Session struct {
 
 	lastActive atomic.Int64 // unix nanoseconds
 
+	// streams counts live stream handlers. A nonzero count pins the session
+	// against TTL eviction (Manager.Sweep); acquisition happens under the
+	// shard lock (Manager.GetForStream), release via endStream.
+	streams atomic.Int64
+
 	// done is closed exactly once when the session is evicted or deleted;
 	// in-flight streams select on it so eviction terminates them promptly.
 	done      chan struct{}
@@ -52,29 +57,11 @@ type blockJob struct {
 	ready chan struct{}
 }
 
-// newSession builds a session from a validated spec. freeListSize bounds the
-// cursor and job free lists; it should cover the worker count so a fully
-// fanned-out session still recycles.
-func newSession(spec *SessionSpec, freeListSize int, now time.Time) (*Session, error) {
-	target, err := spec.Model.Build()
-	if err != nil {
-		return nil, fmt.Errorf("service: %w", err)
-	}
-	rows := make([][]complex128, target.Rows())
-	for i := range rows {
-		rows[i] = target.Row(i)
-	}
-	stream, err := rayleigh.NewStream(rayleigh.RealTimeConfig{
-		Covariance:        rows,
-		IDFTPoints:        spec.blockLength(),
-		NormalizedDoppler: spec.doppler(),
-		InputVariance:     spec.InputVariance,
-		Seed:              spec.Seed,
-		Method:            spec.Method,
-	})
-	if err != nil {
-		return nil, err
-	}
+// newSession builds a session's bookkeeping around a prebuilt (possibly
+// cache-shared) Stream. freeListSize bounds the cursor and job free lists;
+// it should cover the worker count so a fully fanned-out session still
+// recycles.
+func newSession(spec *SessionSpec, stream *rayleigh.Stream, freeListSize int, now time.Time) *Session {
 	if freeListSize < 1 {
 		freeListSize = 1
 	}
@@ -90,7 +77,7 @@ func newSession(spec *SessionSpec, freeListSize int, now time.Time) (*Session, e
 		jobs:    make(chan *blockJob, freeListSize),
 	}
 	s.lastActive.Store(now.UnixNano())
-	return s, nil
+	return s
 }
 
 // newSessionID returns 16 random hex characters. Session IDs are the only
@@ -106,6 +93,11 @@ func newSessionID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// Stream returns the session's generation state. The Stream is immutable and
+// may be shared with other sessions of the same spec (see setupCache); the
+// pointer identity is what cache tests assert on.
+func (s *Session) Stream() *rayleigh.Stream { return s.stream }
+
 // N returns the envelope count per block.
 func (s *Session) N() int { return s.n }
 
@@ -117,6 +109,14 @@ func (s *Session) Blocks() uint64 { return s.blocks }
 
 // touch records client activity for TTL accounting.
 func (s *Session) touch(now time.Time) { s.lastActive.Store(now.UnixNano()) }
+
+// endStream releases a stream reference taken by Manager.GetForStream. The
+// touch lands before the unpin so a sweep racing the release sees either a
+// pinned session or a fresh idle clock — never an expired unpinned one.
+func (s *Session) endStream(now time.Time) {
+	s.touch(now)
+	s.streams.Add(-1)
+}
 
 // idle reports how long the session has been untouched.
 func (s *Session) idle(now time.Time) time.Duration {

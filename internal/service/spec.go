@@ -12,10 +12,14 @@ package service
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/chanspec"
 )
@@ -148,6 +152,35 @@ func (s *SessionSpec) doppler() float64 {
 		return s.NormalizedDoppler
 	}
 	return 0.05
+}
+
+// setupKey returns the spec's content address: a hash over every field that
+// determines the session's generation state (model, method, seed, block
+// length, Doppler, input variance — with defaults resolved, so an omitted
+// field and its explicit default collide on purpose). Blocks is deliberately
+// excluded: it only bounds the served range, not the stream, so sessions of
+// different lengths over the same channel share one setup artifact.
+func (s *SessionSpec) setupKey() string {
+	h := sha256.New()
+	h.Write(s.Model.Canonical())
+	h.Write([]byte{0})
+	io.WriteString(h, chanspec.NormalizeMethod(s.Method))
+	var tail [32]byte
+	binary.LittleEndian.PutUint64(tail[0:], uint64(s.Seed))
+	binary.LittleEndian.PutUint64(tail[8:], uint64(s.blockLength()))
+	binary.LittleEndian.PutUint64(tail[16:], math.Float64bits(s.doppler()))
+	binary.LittleEndian.PutUint64(tail[24:], math.Float64bits(s.inputVariance()))
+	h.Write(tail[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// inputVariance returns the Doppler filter input variance in effect (default
+// the paper's 1/2, matching the engine's own default).
+func (s *SessionSpec) inputVariance() float64 {
+	if s.InputVariance != 0 {
+		return s.InputVariance
+	}
+	return 0.5
 }
 
 // canonical returns the spec's canonical JSON encoding (stable field order),
