@@ -16,6 +16,15 @@
 // -tolerance (or disappears from the run):
 //
 //	go run ./cmd/benchreport -o /tmp/bench.json -compare BENCH_core.json -tolerance 0.25
+//
+// With -slo-compare the command instead gates a fresh cmd/slorun document
+// against the committed BENCH_slo.json (no core benchmarks are run): every
+// baseline scenario must still exist with the same config hash, pass its own
+// release gates, not grow its error counters, and keep inject/recover latency
+// percentiles within -slo-tolerance (plus the -slo-slack-ms noise floor):
+//
+//	go run ./cmd/slorun -all -q -out /tmp/slo.json
+//	go run ./cmd/benchreport -slo-compare BENCH_slo.json -slo-current /tmp/slo.json
 package main
 
 import (
@@ -237,7 +246,21 @@ func main() {
 	out := flag.String("o", "BENCH_core.json", "output file ('-' for stdout)")
 	comparePath := flag.String("compare", "", "baseline report to gate against (e.g. BENCH_core.json)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline")
+	sloBaseline := flag.String("slo-compare", "", "baseline BENCH_slo.json to gate a fresh SLO document against")
+	sloCurrent := flag.String("slo-current", "", "fresh BENCH_slo.json from cmd/slorun (required with -slo-compare; skips the core benchmark run)")
+	sloTolerance := flag.Float64("slo-tolerance", 0.5, "allowed fractional latency regression vs the SLO baseline")
+	sloSlackMs := flag.Float64("slo-slack-ms", 5, "absolute latency slack in ms a regression must also exceed (noise floor for sub-ms percentiles)")
 	flag.Parse()
+
+	// SLO-compare mode gates two existing cmd/slorun documents against each
+	// other and never runs the (slow) core benchmark families.
+	if *sloBaseline != "" || *sloCurrent != "" {
+		if *sloBaseline == "" || *sloCurrent == "" {
+			fatalf("-slo-compare and -slo-current must be used together")
+		}
+		runSLOCompare(*sloBaseline, *sloCurrent, *sloTolerance, *sloSlackMs)
+		return
+	}
 
 	rep := report{
 		GoVersion:  runtime.Version(),

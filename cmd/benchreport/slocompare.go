@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/slolab"
+)
+
+// sloCheck is one latency comparison inside a scenario verdict.
+type sloCheck struct {
+	Name       string
+	BaselineMs float64
+	CurrentMs  float64
+	Regressed  bool
+}
+
+// sloComparison is the verdict for one scenario present in the SLO baseline.
+type sloComparison struct {
+	Scenario string
+	// Missing marks baseline scenarios absent from the current document.
+	Missing bool
+	// Stale marks scenarios whose config hash changed: the workload is no
+	// longer the one the baseline measured, so the baseline must be
+	// regenerated rather than compared against.
+	Stale bool
+	// GateFailed marks scenarios whose own release gates failed in the
+	// current run.
+	GateFailed bool
+	// CountRegressed marks scenarios whose deterministic failure counters
+	// (errors, server truncations) grew beyond the baseline.
+	CountRegressed bool
+	Checks         []sloCheck
+	ok             bool
+}
+
+// sloPhases are the phases the latency comparison reads. Warmup is noise by
+// design (cold caches), so only inject and recover are gated.
+var sloPhases = []string{slolab.PhaseInject, slolab.PhaseRecover}
+
+// compareSLODocs checks every baseline scenario against the current
+// document: it must still exist, describe the same workload (config hash),
+// pass its own gates, not grow its error/truncation counters, and keep
+// inject/recover latency percentiles within baseline·(1 + tolerance). The
+// boolean result is true when the gate passes.
+func compareSLODocs(baseline, current *slolab.Doc, tolerance, slackMs float64) ([]sloComparison, bool) {
+	ok := true
+	comparisons := make([]sloComparison, 0, len(baseline.Scenarios))
+	for _, base := range baseline.Scenarios {
+		c := sloComparison{Scenario: base.Scenario, ok: true}
+		cur := current.Find(base.Scenario)
+		switch {
+		case cur == nil:
+			c.Missing = true
+			c.ok = false
+		case cur.Fingerprint.ConfigHash != base.Fingerprint.ConfigHash:
+			c.Stale = true
+			c.ok = false
+		default:
+			if !cur.Passed {
+				c.GateFailed = true
+				c.ok = false
+			}
+			for _, phase := range sloPhases {
+				bp, cp := base.Phases[phase], cur.Phases[phase]
+				if bp == nil || cp == nil {
+					continue
+				}
+				if cp.Errors > bp.Errors || cp.Truncations > bp.Truncations {
+					c.CountRegressed = true
+					c.ok = false
+				}
+				c.compareLatency(phase+" block", bp.BlockLatency, cp.BlockLatency, tolerance, slackMs)
+				c.compareLatency(phase+" create", bp.CreateLatency, cp.CreateLatency, tolerance, slackMs)
+			}
+		}
+		if !c.ok {
+			ok = false
+		}
+		comparisons = append(comparisons, c)
+	}
+	return comparisons, ok
+}
+
+// compareLatency gates one percentile digest pair. Percentiles the baseline
+// never measured (0, e.g. create latency in a streaming-only phase) are not
+// comparable and are skipped. A regression must exceed both the relative
+// tolerance and an absolute slack: sub-millisecond percentiles jitter by
+// integer factors between runs on shared hardware, and only the absolute
+// floor separates that noise from a real slowdown.
+func (c *sloComparison) compareLatency(name string, base, cur slolab.LatencySummary, tolerance, slackMs float64) {
+	pairs := []struct {
+		name       string
+		b, current float64
+	}{
+		{name + " p50_ms", base.P50Ms, cur.P50Ms},
+		{name + " p95_ms", base.P95Ms, cur.P95Ms},
+		{name + " p99_ms", base.P99Ms, cur.P99Ms},
+	}
+	for _, p := range pairs {
+		if p.b <= 0 {
+			continue
+		}
+		check := sloCheck{Name: p.name, BaselineMs: p.b, CurrentMs: p.current}
+		bound := p.b * (1 + tolerance)
+		if floor := p.b + slackMs; floor > bound {
+			bound = floor
+		}
+		check.Regressed = p.current > bound
+		if check.Regressed {
+			c.ok = false
+		}
+		c.Checks = append(c.Checks, check)
+	}
+}
+
+// formatSLOComparisons renders the comparison table, one block per baseline
+// scenario.
+func formatSLOComparisons(comparisons []sloComparison, tolerance float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLO regression gate (latency tolerance %+.0f%%):\n", 100*tolerance)
+	for _, c := range comparisons {
+		switch {
+		case c.Missing:
+			fmt.Fprintf(&b, "  %-32s MISSING from current document\n", c.Scenario)
+			continue
+		case c.Stale:
+			fmt.Fprintf(&b, "  %-32s STALE baseline (config hash changed; regenerate BENCH_slo.json)\n", c.Scenario)
+			continue
+		}
+		verdict := "ok"
+		switch {
+		case c.GateFailed:
+			verdict = "GATES FAILED"
+		case c.CountRegressed:
+			verdict = "ERROR COUNTS REGRESSED"
+		case !c.ok:
+			verdict = "LATENCY REGRESSED"
+		}
+		fmt.Fprintf(&b, "  %-32s %s\n", c.Scenario, verdict)
+		for _, ch := range c.Checks {
+			mark := ""
+			if ch.Regressed {
+				mark = "  REGRESSED"
+			}
+			fmt.Fprintf(&b, "    %-28s %8.3f -> %8.3f ms%s\n", ch.Name, ch.BaselineMs, ch.CurrentMs, mark)
+		}
+	}
+	return b.String()
+}
+
+// runSLOCompare is the -slo-compare entry: load both documents, gate, exit
+// non-zero on regression.
+func runSLOCompare(baselinePath, currentPath string, tolerance, slackMs float64) {
+	baseline, err := slolab.LoadDoc(baselinePath)
+	if err != nil {
+		fatalf("slo baseline: %v", err)
+	}
+	current, err := slolab.LoadDoc(currentPath)
+	if err != nil {
+		fatalf("slo current: %v", err)
+	}
+	comparisons, ok := compareSLODocs(baseline, current, tolerance, slackMs)
+	fmt.Print(formatSLOComparisons(comparisons, tolerance))
+	if !ok {
+		fatalf("SLO regression vs %s", baselinePath)
+	}
+	fmt.Printf("SLO gate passed: %d scenarios within %+.0f%% of %s\n",
+		len(comparisons), 100*tolerance, baselinePath)
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/slolab"
+)
+
+// sloDoc builds a minimal document with one scenario whose inject phase has
+// the given latency and counters.
+func sloDoc(hash string, passed bool, p95 float64, errors, truncations int) *slolab.Doc {
+	return &slolab.Doc{
+		Kind: slolab.DocKind,
+		Scenarios: []*slolab.Summary{{
+			Scenario:    "s",
+			Passed:      passed,
+			Fingerprint: slolab.Fingerprint{Scenario: "s", ConfigHash: hash},
+			Phases: map[string]*slolab.PhaseMetrics{
+				slolab.PhaseInject: {
+					Errors:       errors,
+					Truncations:  truncations,
+					BlockLatency: slolab.LatencySummary{Count: 100, P50Ms: p95 / 2, P95Ms: p95, P99Ms: p95 * 2},
+				},
+				slolab.PhaseRecover: {
+					BlockLatency: slolab.LatencySummary{Count: 100, P50Ms: 1, P95Ms: 2, P99Ms: 3},
+				},
+			},
+		}},
+	}
+}
+
+func TestCompareSLODocs(t *testing.T) {
+	base := sloDoc("h1", true, 10, 0, 0)
+	cases := []struct {
+		name    string
+		current *slolab.Doc
+		ok      bool
+		marker  string
+	}{
+		{"identical", sloDoc("h1", true, 10, 0, 0), true, "ok"},
+		{"within tolerance", sloDoc("h1", true, 14, 0, 0), true, "ok"},
+		{"latency regressed", sloDoc("h1", true, 16, 0, 0), false, "LATENCY REGRESSED"},
+		{"gates failed", sloDoc("h1", false, 10, 0, 0), false, "GATES FAILED"},
+		{"errors regressed", sloDoc("h1", true, 10, 1, 0), false, "ERROR COUNTS REGRESSED"},
+		{"truncations regressed", sloDoc("h1", true, 10, 0, 2), false, "ERROR COUNTS REGRESSED"},
+		{"stale hash", sloDoc("h2", true, 10, 0, 0), false, "STALE"},
+		{"missing scenario", &slolab.Doc{Kind: slolab.DocKind}, false, "MISSING"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			comparisons, ok := compareSLODocs(base, tc.current, 0.5, 0)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v (%+v)", ok, tc.ok, comparisons)
+			}
+			if out := formatSLOComparisons(comparisons, 0.5); !strings.Contains(out, tc.marker) {
+				t.Fatalf("output missing %q:\n%s", tc.marker, out)
+			}
+		})
+	}
+}
+
+// TestCompareSLODocsSkipsUnmeasuredPercentiles pins the zero-baseline rule:
+// a phase the baseline never sampled (create latency in a streaming-only
+// scenario) must not produce comparisons.
+func TestCompareSLODocsSkipsUnmeasuredPercentiles(t *testing.T) {
+	base := sloDoc("h1", true, 10, 0, 0)
+	current := sloDoc("h1", true, 10, 0, 0)
+	// Current grows create latency out of nowhere; with a zero baseline it
+	// must be ignored, not treated as an infinite regression.
+	current.Scenarios[0].Phases[slolab.PhaseInject].CreateLatency =
+		slolab.LatencySummary{Count: 5, P95Ms: 1e9}
+	comparisons, ok := compareSLODocs(base, current, 0.5, 0)
+	if !ok {
+		t.Fatalf("unmeasured percentile failed the gate: %+v", comparisons)
+	}
+	for _, c := range comparisons {
+		for _, ch := range c.Checks {
+			if strings.Contains(ch.Name, "create") {
+				t.Fatalf("zero-baseline create percentile compared: %+v", ch)
+			}
+		}
+	}
+}
+
+// TestCompareSLODocsNewScenarioIgnored pins the asymmetry: scenarios new in
+// the current document have no baseline and must not affect the gate.
+func TestCompareSLODocsNewScenarioIgnored(t *testing.T) {
+	base := sloDoc("h1", true, 10, 0, 0)
+	current := sloDoc("h1", true, 10, 0, 0)
+	current.Scenarios = append(current.Scenarios, &slolab.Summary{
+		Scenario:    "brand-new",
+		Passed:      false,
+		Fingerprint: slolab.Fingerprint{Scenario: "brand-new", ConfigHash: "x"},
+		Phases:      map[string]*slolab.PhaseMetrics{},
+	})
+	comparisons, ok := compareSLODocs(base, current, 0.5, 0)
+	if !ok || len(comparisons) != 1 {
+		t.Fatalf("new scenario affected the gate: ok=%v, %d comparisons", ok, len(comparisons))
+	}
+}
+
+// TestCompareSLODocsSlackFloor pins the noise floor: a sub-millisecond
+// percentile doubling is not a regression until it also clears the absolute
+// slack.
+func TestCompareSLODocsSlackFloor(t *testing.T) {
+	base := sloDoc("h1", true, 0.4, 0, 0)
+	current := sloDoc("h1", true, 1.0, 0, 0)
+	if _, ok := compareSLODocs(base, current, 0.5, 5); !ok {
+		t.Fatal("sub-slack jitter failed the gate")
+	}
+	if _, ok := compareSLODocs(base, current, 0.5, 0); ok {
+		t.Fatal("without slack the same jitter must trip the relative tolerance")
+	}
+}

@@ -1,12 +1,15 @@
 // Command loadtest is the fadingd load generator. Its default (stream) mode
 // opens many concurrent sessions, streams blocks as fast as the server will
 // serve them for a fixed duration, and reports sustained throughput
-// (blocks/s, samples/s, MB/s) as JSON so future changes can gate on
-// regressions. Its churn mode (-churn) measures the session-creation path
-// instead: a cold phase where every create carries a fresh spec (each pays
-// the full O(N³) setup) and a warm phase where every create shares one spec
-// (each hits the server's content-addressed setup cache), reporting
-// creates/s for both and the warm/cold speedup.
+// (blocks/s, samples/s, MB/s) plus block-latency percentiles as JSON so
+// future changes can gate on regressions. Its churn mode (-churn) measures
+// the session-creation path instead: a cold phase where every create carries
+// a fresh spec (each pays the full O(N³) setup) and a warm phase where every
+// create shares one spec (each hits the server's content-addressed setup
+// cache), reporting creates/s and create-latency percentiles for both and
+// the warm/cold speedup. Percentiles come from the same internal/slolab
+// sampler the SLO lab uses, so both tools digest latency identically
+// (nearest-rank, milliseconds).
 //
 // By default it starts an in-process fadingd on a loopback port, which
 // measures the service stack (session manager, worker pool, framing) without
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/slolab"
 )
 
 // options collects the flag values so the whole generator is drivable from
@@ -53,33 +57,39 @@ type options struct {
 
 // report is the JSON document written at exit.
 type report struct {
-	Addr             string       `json:"addr"`
-	InProcess        bool         `json:"in_process"`
-	Mode             string       `json:"mode"`
-	Sessions         int          `json:"sessions"`
-	Format           string       `json:"format,omitempty"`
-	IDFTPoints       int          `json:"idft_points,omitempty"`
-	BlocksPerRequest int          `json:"blocks_per_request,omitempty"`
-	Seconds          float64      `json:"seconds"`
-	Blocks           int64        `json:"blocks,omitempty"`
-	Samples          int64        `json:"samples,omitempty"`
-	Bytes            int64        `json:"bytes,omitempty"`
-	BlocksPerSec     float64      `json:"blocks_per_sec,omitempty"`
-	SamplesPerSec    float64      `json:"samples_per_sec,omitempty"`
-	MBPerSec         float64      `json:"mb_per_sec,omitempty"`
-	Requests         int64        `json:"requests,omitempty"`
-	Churn            *churnReport `json:"churn,omitempty"`
+	Addr             string  `json:"addr"`
+	InProcess        bool    `json:"in_process"`
+	Mode             string  `json:"mode"`
+	Sessions         int     `json:"sessions"`
+	Format           string  `json:"format,omitempty"`
+	IDFTPoints       int     `json:"idft_points,omitempty"`
+	BlocksPerRequest int     `json:"blocks_per_request,omitempty"`
+	Seconds          float64 `json:"seconds"`
+	Blocks           int64   `json:"blocks,omitempty"`
+	Samples          int64   `json:"samples,omitempty"`
+	Bytes            int64   `json:"bytes,omitempty"`
+	BlocksPerSec     float64 `json:"blocks_per_sec,omitempty"`
+	SamplesPerSec    float64 `json:"samples_per_sec,omitempty"`
+	MBPerSec         float64 `json:"mb_per_sec,omitempty"`
+	Requests         int64   `json:"requests,omitempty"`
+	// BlockLatency digests the inter-frame gaps of the stream mode: the time
+	// from one decoded block to the next within a response, which is the
+	// cadence a consumer of the stream actually experiences.
+	BlockLatency *slolab.LatencySummary `json:"block_latency,omitempty"`
+	Churn        *churnReport           `json:"churn,omitempty"`
 }
 
 // churnReport is the session-churn section: creates/s with every create
 // missing the setup cache (cold) versus every create hitting it (warm).
 type churnReport struct {
-	ModelN            int     `json:"model_n"`
-	ColdCreates       int64   `json:"cold_creates"`
-	ColdCreatesPerSec float64 `json:"cold_creates_per_sec"`
-	WarmCreates       int64   `json:"warm_creates"`
-	WarmCreatesPerSec float64 `json:"warm_creates_per_sec"`
-	WarmSpeedup       float64 `json:"warm_speedup"`
+	ModelN            int                   `json:"model_n"`
+	ColdCreates       int64                 `json:"cold_creates"`
+	ColdCreatesPerSec float64               `json:"cold_creates_per_sec"`
+	ColdCreateLatency slolab.LatencySummary `json:"cold_create_latency"`
+	WarmCreates       int64                 `json:"warm_creates"`
+	WarmCreatesPerSec float64               `json:"warm_creates_per_sec"`
+	WarmCreateLatency slolab.LatencySummary `json:"warm_create_latency"`
+	WarmSpeedup       float64               `json:"warm_speedup"`
 }
 
 func main() {
@@ -155,6 +165,7 @@ func run(o options) (*report, error) {
 	r.BlocksPerRequest = o.perReq
 
 	var blocks, samples, bytesRead, requests atomic.Int64
+	var blockLat slolab.Sampler
 	deadline := time.Now().Add(o.duration)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -163,7 +174,7 @@ func run(o options) (*report, error) {
 		go func(i int) {
 			defer wg.Done()
 			if err := driveSession(base, int64(i), o.idft, o.perReq, o.format, deadline,
-				&blocks, &samples, &bytesRead, &requests); err != nil {
+				&blocks, &samples, &bytesRead, &requests, &blockLat); err != nil {
 				log.Printf("loadtest: session %d: %v", i, err)
 			}
 		}(i)
@@ -176,6 +187,10 @@ func run(o options) (*report, error) {
 	r.Samples = samples.Load()
 	r.Bytes = bytesRead.Load()
 	r.Requests = requests.Load()
+	if blockLat.Len() > 0 {
+		sum := blockLat.Summary()
+		r.BlockLatency = &sum
+	}
 	if elapsed > 0 {
 		r.BlocksPerSec = float64(r.Blocks) / elapsed
 		r.SamplesPerSec = float64(r.Samples) / elapsed
@@ -199,20 +214,27 @@ func churnSpec(n, idft int, seed int64) string {
 // measurement never trips the capacity cap.
 func runChurn(base string, creators int, duration time.Duration, modelN, idft int) (*churnReport, error) {
 	var seedCounter atomic.Int64
-	cold, coldSecs, err := churnPhase(base, creators, duration/2, func() string {
+	var coldLat, warmLat slolab.Sampler
+	cold, coldSecs, err := churnPhase(base, creators, duration/2, &coldLat, func() string {
 		return churnSpec(modelN, idft, seedCounter.Add(1))
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cold phase: %w", err)
 	}
 	warmSpec := churnSpec(modelN, idft, -1)
-	warm, warmSecs, err := churnPhase(base, creators, duration/2, func() string {
+	warm, warmSecs, err := churnPhase(base, creators, duration/2, &warmLat, func() string {
 		return warmSpec
 	})
 	if err != nil {
 		return nil, fmt.Errorf("warm phase: %w", err)
 	}
-	r := &churnReport{ModelN: modelN, ColdCreates: cold, WarmCreates: warm}
+	r := &churnReport{
+		ModelN:            modelN,
+		ColdCreates:       cold,
+		ColdCreateLatency: coldLat.Summary(),
+		WarmCreates:       warm,
+		WarmCreateLatency: warmLat.Summary(),
+	}
 	if coldSecs > 0 {
 		r.ColdCreatesPerSec = float64(cold) / coldSecs
 	}
@@ -227,7 +249,9 @@ func runChurn(base string, creators int, duration time.Duration, modelN, idft in
 
 // churnPhase runs creators goroutines in a create+delete loop until the
 // phase deadline, returning the total create count and elapsed seconds.
-func churnPhase(base string, creators int, d time.Duration, spec func() string) (int64, float64, error) {
+// Every create round trip is timed into lat, so the report carries the
+// latency distribution behind the creates/s aggregate.
+func churnPhase(base string, creators int, d time.Duration, lat *slolab.Sampler, spec func() string) (int64, float64, error) {
 	var creates atomic.Int64
 	errc := make(chan error, creators)
 	deadline := time.Now().Add(d)
@@ -238,11 +262,13 @@ func churnPhase(base string, creators int, d time.Duration, spec func() string) 
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
+				t0 := time.Now()
 				info, err := createOnce(base, spec())
 				if err != nil {
 					errc <- err
 					return
 				}
+				lat.Record(time.Since(t0))
 				creates.Add(1)
 				if err := deleteSession(base, info.ID); err != nil {
 					errc <- err
@@ -301,7 +327,7 @@ func deleteSession(base, id string) error {
 // driveSession opens one session and streams ranges of it in a resume loop
 // until the deadline, accumulating the counters.
 func driveSession(base string, seed int64, idft, perReq int, format string, deadline time.Time,
-	blocks, samples, bytesRead, requests *atomic.Int64) error {
+	blocks, samples, bytesRead, requests *atomic.Int64, lat *slolab.Sampler) error {
 	spec := fmt.Sprintf(`{"model": {"type": "eq22"}, "seed": %d, "blocks": %d, "idft_points": %d}`,
 		seed, 1<<20, idft)
 	info, err := createOnce(base, spec)
@@ -326,7 +352,7 @@ func driveSession(base string, seed int64, idft, perReq int, format string, dead
 			resp.Body.Close()
 			return fmt.Errorf("stream: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 		}
-		got, n, err := consume(resp.Body, format)
+		got, n, err := consume(resp.Body, format, lat)
 		resp.Body.Close()
 		if err != nil {
 			return err
@@ -348,9 +374,12 @@ type streamInfo struct {
 }
 
 // consume drains one stream response, returning the block count and bytes.
-func consume(r io.Reader, format string) (int64, int64, error) {
+// Each block's arrival gap (time since the previous block of the same
+// response, or since the response began) is recorded into lat.
+func consume(r io.Reader, format string, lat *slolab.Sampler) (int64, int64, error) {
 	cr := &countingReader{r: r}
 	var blocks int64
+	last := time.Now()
 	if format == service.FormatBinary {
 		for {
 			_, _, _, err := service.DecodeBinaryFrame(cr)
@@ -360,6 +389,9 @@ func consume(r io.Reader, format string) (int64, int64, error) {
 			if err != nil {
 				return blocks, cr.n, err
 			}
+			now := time.Now()
+			lat.Record(now.Sub(last))
+			last = now
 			blocks++
 		}
 	}
@@ -367,6 +399,9 @@ func consume(r io.Reader, format string) (int64, int64, error) {
 	sc.Buffer(nil, 1<<26)
 	for sc.Scan() {
 		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			now := time.Now()
+			lat.Record(now.Sub(last))
+			last = now
 			blocks++
 		}
 	}

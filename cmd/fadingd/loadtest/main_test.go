@@ -46,6 +46,15 @@ func TestRunStreamMode(t *testing.T) {
 	if r.BlocksPerSec <= 0 || r.SamplesPerSec <= 0 {
 		t.Fatalf("derived rates missing: %+v", r)
 	}
+	if r.BlockLatency == nil || r.BlockLatency.Count == 0 {
+		t.Fatalf("block latency percentiles missing: %+v", r)
+	}
+	if int64(r.BlockLatency.Count) != r.Blocks {
+		t.Errorf("latency sample count %d != blocks %d", r.BlockLatency.Count, r.Blocks)
+	}
+	if r.BlockLatency.P50Ms > r.BlockLatency.P95Ms || r.BlockLatency.P95Ms > r.BlockLatency.P99Ms {
+		t.Errorf("percentiles not monotone: %+v", r.BlockLatency)
+	}
 
 	doc, err := json.Marshal(r)
 	if err != nil {
@@ -55,7 +64,7 @@ func TestRunStreamMode(t *testing.T) {
 	if err := json.Unmarshal(doc, &decoded); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	for _, key := range []string{"addr", "mode", "seconds", "blocks", "blocks_per_sec"} {
+	for _, key := range []string{"addr", "mode", "seconds", "blocks", "blocks_per_sec", "block_latency"} {
 		if _, ok := decoded[key]; !ok {
 			t.Errorf("report JSON missing %q: %s", key, doc)
 		}
@@ -93,6 +102,16 @@ func TestRunChurnMode(t *testing.T) {
 	if c.WarmSpeedup <= 1 {
 		t.Fatalf("warm creates (%.0f/s) not faster than cold (%.0f/s)", c.WarmCreatesPerSec, c.ColdCreatesPerSec)
 	}
+	if int64(c.ColdCreateLatency.Count) != c.ColdCreates || int64(c.WarmCreateLatency.Count) != c.WarmCreates {
+		t.Fatalf("create latency sample counts do not match creates: %+v", c)
+	}
+	// The percentile digest must agree with the rate measurement on which
+	// phase is cheaper: a warm create hits the setup cache, so its median
+	// round trip cannot be slower than the cold median.
+	if c.WarmCreateLatency.P50Ms > c.ColdCreateLatency.P50Ms {
+		t.Errorf("warm create p50 %.3f ms above cold p50 %.3f ms",
+			c.WarmCreateLatency.P50Ms, c.ColdCreateLatency.P50Ms)
+	}
 
 	doc, err := json.Marshal(r)
 	if err != nil {
@@ -103,6 +122,14 @@ func TestRunChurnMode(t *testing.T) {
 			ColdCreatesPerSec float64 `json:"cold_creates_per_sec"`
 			WarmCreatesPerSec float64 `json:"warm_creates_per_sec"`
 			WarmSpeedup       float64 `json:"warm_speedup"`
+			ColdCreateLatency struct {
+				Count int     `json:"count"`
+				P95Ms float64 `json:"p95_ms"`
+			} `json:"cold_create_latency"`
+			WarmCreateLatency struct {
+				Count int     `json:"count"`
+				P95Ms float64 `json:"p95_ms"`
+			} `json:"warm_create_latency"`
 		} `json:"churn"`
 	}
 	if err := json.Unmarshal(doc, &decoded); err != nil {
@@ -110,6 +137,9 @@ func TestRunChurnMode(t *testing.T) {
 	}
 	if decoded.Churn.WarmSpeedup != c.WarmSpeedup {
 		t.Fatalf("churn section did not round-trip: %s", doc)
+	}
+	if decoded.Churn.ColdCreateLatency.Count == 0 || decoded.Churn.WarmCreateLatency.Count == 0 {
+		t.Fatalf("create latency digests did not round-trip: %s", doc)
 	}
 }
 

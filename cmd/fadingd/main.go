@@ -12,6 +12,13 @@
 //	fadingd [-addr :8080] [-workers N] [-queue N] [-window N]
 //	        [-session-ttl 5m] [-max-sessions 256] [-shards N] [-cache-specs 256]
 //	        [-max-envelopes 64] [-max-blocks 1048576] [-max-idft 65536]
+//	        [-read-header-timeout 10s] [-read-timeout 1m] [-write-timeout 0]
+//	        [-idle-timeout 2m] [-create-timeout 30s]
+//
+// The timeout flags bound how long a client may hold a connection without
+// progress (slowloris defense) and how long one session create may spend in
+// spec setup; see the "Overload & retry semantics" section of docs/service.md
+// for the 429/503/Retry-After contract they feed.
 package main
 
 import (
@@ -42,17 +49,30 @@ func main() {
 		maxEnvelopes = flag.Int("max-envelopes", 0, "largest model N a spec may request (0 = 64)")
 		maxBlocks    = flag.Int("max-blocks", 0, "longest stream a spec may request (0 = 1<<20)")
 		maxIDFT      = flag.Int("max-idft", 0, "largest block length a spec may request (0 = 1<<16)")
+
+		// HTTP server timeouts. The write timeout defaults to 0 (disabled)
+		// on purpose: streams are long-lived by design and a write deadline
+		// covers the whole response, so any finite default would cut slow but
+		// legitimate consumers — set it only on deployments that cap stream
+		// length. The others default on: header and body reads are small, and
+		// idle keep-alive connections are cheap to re-establish.
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "max time to read request headers (slowloris defense)")
+		readTimeout       = flag.Duration("read-timeout", time.Minute, "max time to read a full request including body")
+		writeTimeout      = flag.Duration("write-timeout", 0, "max time to write a full response (0 = unlimited; finite values cut long streams)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests")
+		createTimeout     = flag.Duration("create-timeout", 30*time.Second, "max spec setup time per session create before 503 + Retry-After (0 = unlimited)")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		Window:      *window,
-		SessionTTL:  *sessionTTL,
-		MaxSessions: *maxSessions,
-		Shards:      *shards,
-		CacheSpecs:  *cacheSpecs,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		Window:        *window,
+		SessionTTL:    *sessionTTL,
+		MaxSessions:   *maxSessions,
+		Shards:        *shards,
+		CacheSpecs:    *cacheSpecs,
+		CreateTimeout: *createTimeout,
 		Limits: service.Limits{
 			MaxEnvelopes:  *maxEnvelopes,
 			MaxBlocks:     *maxBlocks,
@@ -62,7 +82,10 @@ func main() {
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	errc := make(chan error, 1)

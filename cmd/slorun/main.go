@@ -1,0 +1,186 @@
+// Command slorun drives the SLO lab: it loads the fault-injection scenario
+// specs of a directory (scenarios/slo by default), runs the selected ones
+// through the internal/slolab engine against a live fadingd — an in-process
+// loopback server per scenario, or one external deployment via -addr — and
+// exits non-zero when any release gate fails. The combined summary document
+// is the SLO benchmark baseline (BENCH_slo.json) that cmd/benchreport
+// -slo-compare gates regressions against.
+//
+//	go run ./cmd/slorun -all                         # run every SLO scenario
+//	go run ./cmd/slorun -list                        # list scenarios and tags
+//	go run ./cmd/slorun -run kill                    # name/tag substring filter
+//	go run ./cmd/slorun -all -out BENCH_slo.json -artifacts out/slo
+//	go run ./cmd/slorun -run steady -addr http://127.0.0.1:8080
+//
+// Exit codes: 0 all gates passed, 1 at least one gate failed, 2 bad usage or
+// spec/config error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/slolab"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and arguments, so the CLI is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slorun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir       = fs.String("dir", filepath.Join("scenarios", "slo"), "SLO scenario spec directory")
+		all       = fs.Bool("all", false, "run every scenario")
+		runMatch  = fs.String("run", "", "run scenarios whose name or tags contain this substring")
+		list      = fs.Bool("list", false, "list scenarios and exit")
+		addr      = fs.String("addr", "", "target an external fadingd base URL instead of per-scenario in-process servers")
+		artifacts = fs.String("artifacts", "", "write per-scenario raw samples and summaries to this directory")
+		out       = fs.String("out", "", "write the combined BENCH_slo.json document to this file")
+		commit    = fs.String("commit", "", "commit hash stamped into provenance")
+		quiet     = fs.Bool("q", false, "suppress the per-scenario report on stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	specs, err := slolab.LoadDir(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "slorun: %v\n", err)
+		return 2
+	}
+	if len(specs) == 0 {
+		fmt.Fprintf(stderr, "slorun: no SLO scenario specs in %s\n", *dir)
+		return 2
+	}
+
+	if *list {
+		for _, s := range specs {
+			tags := ""
+			if len(s.Tags) > 0 {
+				tags = " [" + strings.Join(s.Tags, ", ") + "]"
+			}
+			fmt.Fprintf(stdout, "%-32s%s  %s\n", s.Name, tags, s.Description)
+		}
+		return 0
+	}
+
+	selected := filter(specs, *all, *runMatch)
+	if len(selected) == 0 {
+		fmt.Fprintf(stderr, "slorun: no scenarios selected; use -all, -list, or -run <substring>\n")
+		return 2
+	}
+
+	doc := &slolab.Doc{Kind: slolab.DocKind, Commit: *commit, GoVersion: runtime.Version()}
+	for _, s := range selected {
+		opts := slolab.RunOptions{Addr: *addr, ArtifactsDir: *artifacts, Commit: *commit}
+		if !*quiet {
+			opts.Logf = func(format string, a ...any) {
+				fmt.Fprintf(stderr, "slorun: "+format+"\n", a...)
+			}
+		}
+		sum, err := slolab.Run(s, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "slorun: %s: %v\n", s.Name, err)
+			return 2
+		}
+		doc.Scenarios = append(doc.Scenarios, sum)
+		if !*quiet {
+			printSummary(stdout, sum)
+		}
+		fmt.Fprintf(stderr, "slorun: %-32s %s\n", s.Name, status(sum.Passed))
+	}
+
+	if *out != "" {
+		if err := writeDoc(*out, doc); err != nil {
+			fmt.Fprintf(stderr, "slorun: %v\n", err)
+			return 2
+		}
+	}
+	if !doc.AllPassed() {
+		failed := 0
+		for _, s := range doc.Scenarios {
+			if !s.Passed {
+				failed++
+			}
+		}
+		fmt.Fprintf(stderr, "slorun: %d of %d scenarios FAILED\n", failed, len(doc.Scenarios))
+		return 1
+	}
+	fmt.Fprintf(stderr, "slorun: all %d scenarios passed\n", len(doc.Scenarios))
+	return 0
+}
+
+// filter selects the scenarios to run: all of them, or those whose name or
+// tags contain the match substring.
+func filter(specs []*slolab.Spec, all bool, match string) []*slolab.Spec {
+	if all {
+		return specs
+	}
+	if match == "" {
+		return nil
+	}
+	var out []*slolab.Spec
+	for _, s := range specs {
+		if strings.Contains(s.Name, match) || s.HasTag(match) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// printSummary renders one scenario's verdicts for humans.
+func printSummary(w io.Writer, sum *slolab.Summary) {
+	fmt.Fprintf(w, "## %s (%s)\n", sum.Scenario, sum.Fingerprint.Fault)
+	fmt.Fprintf(w, "config %s seed %d\n", sum.Fingerprint.ConfigHash[:12], sum.Fingerprint.Seed)
+	for _, phase := range []string{"warmup", "inject", "recover"} {
+		pm := sum.Phases[phase]
+		if pm == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s %6d blocks %8.1f blk/s  block p50/p95/p99 %.2f/%.2f/%.2f ms  create p95 %.2f ms  err %d cuts %d trunc %d rej %d\n",
+			phase, pm.Blocks, pm.BlocksPerSec,
+			pm.BlockLatency.P50Ms, pm.BlockLatency.P95Ms, pm.BlockLatency.P99Ms,
+			pm.CreateLatency.P95Ms, pm.Errors, pm.Cuts, pm.Truncations, pm.Rejections)
+	}
+	if sum.Identity != nil {
+		fmt.Fprintf(w, "  identity %d/%d matched after %d cuts, %d resumes\n",
+			sum.Identity.Matched, sum.Identity.Clients, sum.Identity.Cuts, sum.Identity.Resumes)
+	}
+	for _, g := range sum.Gates {
+		mark := "PASS"
+		if g.Skipped {
+			mark = "SKIP (" + g.Reason + ")"
+		} else if !g.Passed {
+			mark = "FAIL"
+		}
+		detail := ""
+		for _, c := range g.Checks {
+			detail += fmt.Sprintf(" %s %.3f %s %.3f;", c.Name, c.Measured, c.Op, c.Bound)
+		}
+		fmt.Fprintf(w, "  gate %-14s %-8s %s%s\n", g.Type, g.Phase, mark, strings.TrimSuffix(detail, ";"))
+	}
+}
+
+func status(passed bool) string {
+	if passed {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// writeDoc writes the combined document as indented JSON.
+func writeDoc(path string, doc *slolab.Doc) error {
+	data, err := slolab.EncodeDoc(doc)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

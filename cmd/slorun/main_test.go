@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/slolab"
+)
+
+// committedDir points the tests at the specs CI actually runs.
+const committedDir = "../../scenarios/slo"
+
+// tinySpec is a fast scenario for CLI behavior tests.
+const tinySpec = `{
+	"name": "tiny",
+	"seed": 3,
+	"clients": 1,
+	"blocks_per_request": 4,
+	"session": {"model": {"type": "eq22"}, "seed": 0, "blocks": 8, "idft_points": 64},
+	"phases": {"warmup": {"units": 0}, "inject": {"units": 8}, "recover": {"units": 0}},
+	"fault": {"type": "none"},
+	"gates": [{"type": "error_rate"}]
+}`
+
+func writeSpec(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListCommittedScenarios(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", committedDir, "-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"steady-baseline", "slow-consumer", "connection-churn",
+		"spec-churn-cold-warm", "session-cap-saturation", "kill-and-resume",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+// TestCommittedSpecsValidate keeps the committed specs loadable — a broken
+// threshold or typo'd field fails here, not in CI's live run.
+func TestCommittedSpecsValidate(t *testing.T) {
+	specs, err := slolab.LoadDir(committedDir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(specs) < 5 {
+		t.Fatalf("want at least 5 committed SLO scenarios, got %d", len(specs))
+	}
+}
+
+// TestRunDeterministicOutput is the CLI-level determinism contract: two runs
+// of the same spec directory agree on every deterministic summary field —
+// fingerprints, work accounting, gate verdicts — differing only in timing.
+func TestRunDeterministicOutput(t *testing.T) {
+	dir := t.TempDir()
+	writeSpec(t, dir, "tiny.json", tinySpec)
+	outDir := t.TempDir()
+	outA := filepath.Join(outDir, "a.json")
+	outB := filepath.Join(outDir, "b.json")
+	var sink bytes.Buffer
+	if code := run([]string{"-dir", dir, "-all", "-q", "-out", outA}, &sink, &sink); code != 0 {
+		t.Fatalf("first run: exit %d: %s", code, sink.String())
+	}
+	if code := run([]string{"-dir", dir, "-all", "-q", "-out", outB}, &sink, &sink); code != 0 {
+		t.Fatalf("second run: exit %d: %s", code, sink.String())
+	}
+	a, err := slolab.LoadDoc(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := slolab.LoadDoc(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Find("tiny"), b.Find("tiny")
+	if sa == nil || sb == nil {
+		t.Fatal("scenario missing from a run")
+	}
+	if !reflect.DeepEqual(sa.Fingerprint, sb.Fingerprint) {
+		t.Fatalf("fingerprints differ:\n%+v\n%+v", sa.Fingerprint, sb.Fingerprint)
+	}
+	for _, phase := range []string{"warmup", "inject", "recover"} {
+		pa, pb := sa.Phases[phase], sb.Phases[phase]
+		if pa.Blocks != pb.Blocks || pa.Requests != pb.Requests ||
+			pa.Errors != pb.Errors || pa.Creates != pb.Creates {
+			t.Fatalf("%s accounting differs: %+v vs %+v", phase, pa, pb)
+		}
+	}
+	if len(sa.Gates) != len(sb.Gates) {
+		t.Fatalf("gate counts differ: %d vs %d", len(sa.Gates), len(sb.Gates))
+	}
+	for i := range sa.Gates {
+		if sa.Gates[i].Passed != sb.Gates[i].Passed || sa.Gates[i].Type != sb.Gates[i].Type {
+			t.Fatalf("gate %d differs: %+v vs %+v", i, sa.Gates[i], sb.Gates[i])
+		}
+	}
+}
+
+func TestRunGateFailureExitCode(t *testing.T) {
+	dir := t.TempDir()
+	doomed := strings.Replace(tinySpec, `"name": "tiny"`, `"name": "doomed"`, 1)
+	doomed = strings.Replace(doomed,
+		`[{"type": "error_rate"}]`,
+		`[{"type": "throughput", "min_blocks_per_sec": 1e12}]`, 1)
+	writeSpec(t, dir, "doomed.json", doomed)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", dir, "-all", "-q"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "FAILED") {
+		t.Fatalf("stderr missing failure notice: %s", errb.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	writeSpec(t, dir, "tiny.json", tinySpec)
+	var sink bytes.Buffer
+	if code := run([]string{"-dir", dir}, &sink, &sink); code != 2 {
+		t.Fatalf("no selection: exit %d, want 2", code)
+	}
+	if code := run([]string{"-dir", filepath.Join(dir, "missing")}, &sink, &sink); code != 2 {
+		t.Fatalf("missing dir: exit %d, want 2", code)
+	}
+	writeSpec(t, dir, "broken.json", `{"name": "broken"}`)
+	if code := run([]string{"-dir", dir, "-all"}, &sink, &sink); code != 2 {
+		t.Fatalf("broken spec: exit %d, want 2", code)
+	}
+}
+
+// TestRunArtifacts checks the CLI plumbs the artifacts directory through.
+func TestRunArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	writeSpec(t, dir, "tiny.json", tinySpec)
+	art := filepath.Join(dir, "artifacts")
+	var sink bytes.Buffer
+	if code := run([]string{"-dir", dir, "-all", "-q", "-artifacts", art, "-commit", "abc123"}, &sink, &sink); code != 0 {
+		t.Fatalf("exit %d: %s", code, sink.String())
+	}
+	for _, f := range []string{"tiny.summary.json", "tiny.samples.json"} {
+		if _, err := os.Stat(filepath.Join(art, f)); err != nil {
+			t.Errorf("artifact %s: %v", f, err)
+		}
+	}
+}

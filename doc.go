@@ -106,7 +106,18 @@
 // first create of a spec pays the O(N³) setup. Endpoints, the spec schema,
 // the binary frame layout, the sharding/cache design and capacity tuning are
 // documented in docs/service.md; a load generator (with a session-churn
-// mode) lives in cmd/fadingd/loadtest. A
-// repository-level overview (architecture map, quickstart, methods table)
+// mode) lives in cmd/fadingd/loadtest.
+//
+// The service's behavior under faults — slow consumers, connection churn,
+// setup-cache miss storms, session-table saturation, connections killed
+// mid-stream — is held to explicit service-level objectives by the SLO lab:
+// scenario specs in scenarios/slo drive internal/slolab's fault-injecting
+// load harness ("go run ./cmd/slorun -all"), every objective evaluates as an
+// independent release gate, and cmd/benchreport -slo-compare gates fresh
+// runs against the committed baseline BENCH_slo.json. The scenario schema,
+// fault and gate catalogs, determinism contract and the overload/retry
+// semantics they enforce are documented in docs/slo.md and docs/service.md.
+//
+// A repository-level overview (architecture map, quickstart, methods table)
 // lives in README.md.
 package rayleigh

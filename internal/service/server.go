@@ -41,6 +41,13 @@ type Config struct {
 	// Stream per distinct spec hash) are kept for reuse across sessions.
 	// Default 256; negative disables caching.
 	CacheSpecs int
+	// CreateTimeout bounds how long one POST /v1/sessions may spend in spec
+	// setup (covariance assembly, eigendecomposition, Doppler plan) before the
+	// request is answered 503 + Retry-After. The setup keeps running in the
+	// background and lands in the setup cache, so an obedient retry is a cheap
+	// cache hit. Zero disables the bound (the library default; cmd/fadingd
+	// passes its -create-timeout flag, default 30s).
+	CreateTimeout time.Duration
 	// Limits bounds what one spec may request.
 	Limits Limits
 
@@ -180,6 +187,19 @@ type sessionInfo struct {
 	Spec json.RawMessage `json:"spec"`
 }
 
+// ErrCreateTimeout reports a session create whose spec setup outran
+// Config.CreateTimeout. The setup keeps running in the background and its
+// artifact lands in the setup cache, so retrying after the advertised
+// Retry-After usually succeeds as a cache hit.
+var ErrCreateTimeout = errors.New("service: session setup timed out")
+
+// retryAfterSeconds is the Retry-After hint on 429/503 rejections. Capacity
+// rejections clear on the next sweep, and the opportunistic create-path sweep
+// runs at most once per opportunisticSweepGap (1s), so one second is the
+// earliest a retry can observe freed capacity; for shutdown the hint tells a
+// load balancer when to probe the replacement replica.
+const retryAfterSeconds = 1
+
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	spec, err := ParseSpec(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err == nil {
@@ -190,12 +210,21 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := s.manager.Create(spec)
+	sess, err := s.createSession(spec)
 	if err != nil {
 		s.metrics.specsRejected.Add(1)
+		// Overload answers are distinguishable by status and code: a full
+		// table is 429 (this replica will have capacity again — retry here
+		// after Retry-After), while shutdown and setup timeout are 503 (the
+		// request may succeed elsewhere, or here after the hinted delay).
 		status := http.StatusBadRequest
-		if errors.Is(err, ErrSessionLimit) || errors.Is(err, ErrShuttingDown) {
+		switch {
+		case errors.Is(err, ErrSessionLimit):
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrCreateTimeout):
 			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		}
 		writeError(w, status, err)
 		return
@@ -203,6 +232,38 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, s.info(sess))
+}
+
+// createSession runs Manager.Create under the configured create timeout. On
+// timeout the background create is not cancelled — spec setup is CPU-bound
+// and uncancellable mid-decomposition — but its eventual session is deleted
+// so nothing leaks, and the shared setup artifact stays cached for the retry.
+func (s *Server) createSession(spec *SessionSpec) (*Session, error) {
+	if s.cfg.CreateTimeout <= 0 {
+		return s.manager.Create(spec)
+	}
+	type created struct {
+		sess *Session
+		err  error
+	}
+	ch := make(chan created, 1)
+	go func() {
+		sess, err := s.manager.Create(spec)
+		ch <- created{sess, err}
+	}()
+	t := time.NewTimer(s.cfg.CreateTimeout)
+	defer t.Stop()
+	select {
+	case c := <-ch:
+		return c.sess, c.err
+	case <-t.C:
+		go func() {
+			if c := <-ch; c.sess != nil {
+				s.manager.Delete(c.sess.ID)
+			}
+		}()
+		return nil, fmt.Errorf("%w after %s", ErrCreateTimeout, s.cfg.CreateTimeout)
+	}
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -391,11 +452,42 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeError sends a JSON error envelope.
+// errorBody is the JSON error envelope of every non-2xx response: a
+// machine-readable code (stable vocabulary, see docs/service.md) plus the
+// human-readable message.
+type errorBody struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// errorCode maps an error and its HTTP status to the stable code vocabulary.
+func errorCode(status int, err error) string {
+	switch {
+	case errors.Is(err, ErrSessionLimit):
+		return "session_limit"
+	case errors.Is(err, ErrShuttingDown):
+		return "shutting_down"
+	case errors.Is(err, ErrCreateTimeout):
+		return "create_timeout"
+	case status == http.StatusNotFound:
+		return "not_found"
+	case status == http.StatusRequestedRangeNotSatisfiable:
+		return "range"
+	case errors.Is(err, ErrBadSpec), status == http.StatusBadRequest:
+		// Setup failures of conventional methods (ErrUnsupported,
+		// ErrSetupFailed) are spec problems too: the spec named a method that
+		// rejects its covariance.
+		return "bad_spec"
+	default:
+		return "internal"
+	}
+}
+
+// writeError sends a JSON error envelope carrying the stable error code.
 func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	writeJSON(w, map[string]string{"error": err.Error()})
+	writeJSON(w, errorBody{Code: errorCode(status, err), Error: err.Error()})
 }
 
 // writeJSON encodes v, ignoring write errors (the client is gone).

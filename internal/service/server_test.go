@@ -338,19 +338,144 @@ func TestTTLSweep(t *testing.T) {
 	}
 }
 
-// TestSessionLimit verifies the capacity cap returns 503, not a session.
-func TestSessionLimit(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxSessions: 2})
-	createSession(t, ts.URL, testSpec)
-	createSession(t, ts.URL, testSpec)
-	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(testSpec))
+// postSpec POSTs a spec and returns the raw response (any status).
+func postSpec(t *testing.T, base, spec string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(spec))
 	if err != nil {
 		t.Fatalf("POST: %v", err)
 	}
+	return resp
+}
+
+// decodeErrorBody decodes the structured JSON error envelope.
+func decodeErrorBody(t *testing.T, resp *http.Response) errorBody {
+	t.Helper()
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	return body
+}
+
+// TestSessionLimit verifies the capacity cap is a structured 429 — code
+// "session_limit", a parseable Retry-After — distinguishable from the
+// shutting-down 503, and that the rejection clears once a session is deleted.
+func TestSessionLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessions: 2})
+	first := createSession(t, ts.URL, testSpec)
+	createSession(t, ts.URL, testSpec)
+
+	resp := postSpec(t, ts.URL, testSpec)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third session: status %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer of seconds", ra)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	body := decodeErrorBody(t, resp)
+	if body.Code != "session_limit" || body.Error == "" {
+		t.Fatalf("error body = %+v, want code session_limit with a message", body)
+	}
+
+	// Freeing one slot must clear the rejection: 429 means "this replica will
+	// have capacity again", unlike the terminal shutting-down 503.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+first.ID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	del.Body.Close()
+	createSession(t, ts.URL, testSpec)
+}
+
+// TestShuttingDownCreate verifies a create racing shutdown is a 503 with
+// code "shutting_down" and a Retry-After hint — the 429 capacity path and the
+// terminal 503 must stay distinguishable for clients and load balancers.
+func TestShuttingDownCreate(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.Manager().CloseAll()
+
+	resp := postSpec(t, ts.URL, testSpec)
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("third session: status %d, want 503", resp.StatusCode)
+		t.Fatalf("create after CloseAll: status %d, want 503", resp.StatusCode)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shutting-down 503 carries no Retry-After")
+	}
+	if body := decodeErrorBody(t, resp); body.Code != "shutting_down" {
+		t.Fatalf("error code = %q, want shutting_down", body.Code)
+	}
+}
+
+// TestCreateTimeout verifies a create whose setup outruns CreateTimeout is a
+// 503 with code "create_timeout" and Retry-After, that the background create
+// does not leak a session, and that the honest retry succeeds (the abandoned
+// setup landed in the cache).
+func TestCreateTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{CreateTimeout: time.Nanosecond})
+	resp := postSpec(t, ts.URL, testSpec)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out create: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("create-timeout 503 carries no Retry-After")
+	}
+	if body := decodeErrorBody(t, resp); body.Code != "create_timeout" {
+		t.Fatalf("error code = %q, want create_timeout", body.Code)
+	}
+
+	// The abandoned background create must delete its session once finished.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Manager().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned create leaked: %d sessions live", s.Manager().Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A server with a sane timeout accepts the same spec (and, on a shared
+	// cache, would hit the artifact the abandoned setup produced).
+	_, sane := newTestServer(t, Config{CreateTimeout: time.Minute})
+	createSession(t, sane.URL, testSpec)
+}
+
+// TestErrorBodyCodes spot-checks the stable error-code vocabulary across the
+// non-create handlers.
+func TestErrorBodyCodes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, testSpec).ID
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/nosuch")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	if body := decodeErrorBody(t, resp); resp.StatusCode != http.StatusNotFound || body.Code != "not_found" {
+		t.Fatalf("unknown session: status %d code %q, want 404 not_found", resp.StatusCode, body.Code)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/sessions/" + id + "/stream?from=8")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	if body := decodeErrorBody(t, resp); resp.StatusCode != http.StatusRequestedRangeNotSatisfiable || body.Code != "range" {
+		t.Fatalf("past-EOS resume: status %d code %q, want 416 range", resp.StatusCode, body.Code)
+	}
+	resp.Body.Close()
+
+	resp = postSpec(t, ts.URL, `{"model": {"type": "eq22"}, "seed": 1}`)
+	if body := decodeErrorBody(t, resp); resp.StatusCode != http.StatusBadRequest || body.Code != "bad_spec" {
+		t.Fatalf("invalid spec: status %d code %q, want 400 bad_spec", resp.StatusCode, body.Code)
+	}
+	resp.Body.Close()
 }
 
 // TestHealthzAndMetrics sanity-checks the operational endpoints.

@@ -1,0 +1,474 @@
+package slolab
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is the lab's resuming fadingd client, reusable as a reference
+// implementation of the service's overload contract (docs/service.md,
+// "Overload & retry semantics"): creates retry 429/503 rejections with
+// capped exponential backoff plus seeded jitter, honoring Retry-After;
+// streams detect truncation from the X-Fadingd-Blocks-Sent trailer and
+// resume via ?from at the first unreceived block, hashing every complete
+// frame so recovery is provably byte-identical to an uninterrupted pass.
+// A Client is driven by one goroutine at a time (each lab worker owns one).
+type Client struct {
+	base        string
+	httpc       *http.Client
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	maxAttempts int
+	sleep       func(time.Duration)
+	rng         *rand.Rand
+}
+
+// ClientConfig tunes a Client; zero fields select defaults.
+type ClientConfig struct {
+	// Base is the server's base URL (required).
+	Base string
+	// HTTP overrides the transport (default http.DefaultClient's semantics
+	// with its own Transport, so labs can disable keep-alives per client).
+	HTTP *http.Client
+	// BaseBackoff is the first retry delay (default 25ms); successive
+	// retries double it up to MaxBackoff (default 2s). A Retry-After header
+	// is honored instead, capped at MaxBackoff so a hostile or clock-skewed
+	// hint cannot park the client.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxAttempts bounds consecutive failed attempts of one operation
+	// (default 8).
+	MaxAttempts int
+	// Seed fixes the jitter stream.
+	Seed int64
+	// Sleep overrides the delay function in tests.
+	Sleep func(time.Duration)
+}
+
+// NewClient builds a client for one worker.
+func NewClient(cfg ClientConfig) *Client {
+	c := &Client{
+		base:        cfg.Base,
+		httpc:       cfg.HTTP,
+		baseBackoff: cfg.BaseBackoff,
+		maxBackoff:  cfg.MaxBackoff,
+		maxAttempts: cfg.MaxAttempts,
+		sleep:       cfg.Sleep,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if c.httpc == nil {
+		c.httpc = &http.Client{}
+	}
+	if c.baseBackoff <= 0 {
+		c.baseBackoff = 25 * time.Millisecond
+	}
+	if c.maxBackoff <= 0 {
+		c.maxBackoff = 2 * time.Second
+	}
+	if c.maxAttempts <= 0 {
+		c.maxAttempts = 8
+	}
+	if c.sleep == nil {
+		c.sleep = time.Sleep
+	}
+	return c
+}
+
+// SessionInfo is the slice of the create response the lab needs.
+type SessionInfo struct {
+	ID          string `json:"id"`
+	Method      string `json:"method"`
+	N           int    `json:"n"`
+	BlockLength int    `json:"block_length"`
+	Blocks      uint64 `json:"blocks"`
+}
+
+// Rejection describes one 429/503 overload answer.
+type Rejection struct {
+	// Status is 429 or 503.
+	Status int
+	// Code is the structured error body's code ("session_limit",
+	// "shutting_down", "create_timeout").
+	Code string
+	// RetryAfter is the parsed Retry-After hint; HasRetryAfter reports
+	// whether the header was present and parseable.
+	RetryAfter    time.Duration
+	HasRetryAfter bool
+}
+
+// CreateStats counts what one retried create went through.
+type CreateStats struct {
+	Attempts       int
+	Rejections     int
+	RetryAfterSeen int
+}
+
+// TryCreate POSTs one session spec without retrying. It returns the session
+// on 201, the structured rejection on 429/503, and an error otherwise.
+func (c *Client) TryCreate(spec []byte) (*SessionInfo, *Rejection, error) {
+	resp, err := c.httpc.Post(c.base+"/v1/sessions", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		var info SessionInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			return nil, nil, fmt.Errorf("slolab: decode session info: %w", err)
+		}
+		return &info, nil, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		rej := &Rejection{Status: resp.StatusCode}
+		var envelope struct {
+			Code string `json:"code"`
+		}
+		_ = json.Unmarshal(body, &envelope)
+		rej.Code = envelope.Code
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+				rej.RetryAfter = time.Duration(secs) * time.Second
+				rej.HasRetryAfter = true
+			}
+		}
+		return nil, rej, nil
+	default:
+		return nil, nil, fmt.Errorf("slolab: create: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+}
+
+// Create POSTs a session spec, retrying overload rejections with backoff
+// until MaxAttempts is exhausted.
+func (c *Client) Create(spec []byte) (*SessionInfo, CreateStats, error) {
+	var stats CreateStats
+	for {
+		stats.Attempts++
+		info, rej, err := c.TryCreate(spec)
+		if err != nil {
+			return nil, stats, err
+		}
+		if info != nil {
+			return info, stats, nil
+		}
+		stats.Rejections++
+		var hint time.Duration
+		if rej.HasRetryAfter {
+			stats.RetryAfterSeen++
+			hint = rej.RetryAfter
+		}
+		if stats.Attempts >= c.maxAttempts {
+			return nil, stats, fmt.Errorf("slolab: create rejected %d times, last status %d (%s)",
+				stats.Rejections, rej.Status, rej.Code)
+		}
+		c.sleep(c.backoff(stats.Attempts, hint))
+	}
+}
+
+// Delete removes a session.
+func (c *Client) Delete(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("slolab: delete %s: status %d", id, resp.StatusCode)
+	}
+	return nil
+}
+
+// backoff returns the delay before retry number attempt (1-based): the
+// Retry-After hint when the server sent one, else baseBackoff·2^(attempt−1)
+// with full jitter in [d/2, d). Both are capped at maxBackoff.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		if retryAfter > c.maxBackoff {
+			return c.maxBackoff
+		}
+		return retryAfter
+	}
+	d := c.baseBackoff << (attempt - 1)
+	if d <= 0 || d > c.maxBackoff {
+		d = c.maxBackoff
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// StreamOptions shapes one resuming stream pass.
+type StreamOptions struct {
+	// From and Count select the block range; Count 0 means to end of
+	// session.
+	From  uint64
+	Count uint64
+	// PerRequest chunks the pass into requests of this many blocks (0 = one
+	// request for the whole range). The chunking is what a resume loop
+	// looks like in production, and it is where kill_resume cut points
+	// rotate.
+	PerRequest int
+	// Gaussian requests the complex Gaussian payload alongside envelopes.
+	Gaussian bool
+	// ThrottleBytesPerSec rate-limits the client's reads (the slow-consumer
+	// fault). Zero disables.
+	ThrottleBytesPerSec int
+	// CutBlocks, when non-nil, kills the connection of request i after
+	// CutBlocks[i mod len] complete blocks (the kill_resume fault);
+	// CutMidBlock kills half a frame later, mid-block.
+	CutBlocks   []int
+	CutMidBlock bool
+	// Sampler, when set, receives one block-latency sample per received
+	// block (time since the previous block of the same request, or since
+	// the request was issued for its first block).
+	Sampler *Sampler
+}
+
+// StreamResult is the outcome of one resuming stream pass.
+type StreamResult struct {
+	// Blocks and Bytes count complete frames received and their payload
+	// size.
+	Blocks uint64
+	Bytes  int64
+	// Requests counts HTTP stream requests issued; Resumes counts the
+	// requests issued to recover from a cut, truncation or failure (i.e.
+	// non-scheduled continuation); Retries counts backoff-delayed retries.
+	Requests int
+	Resumes  int
+	Retries  int
+	// Cuts counts client-injected connection kills; Truncations counts
+	// server-side truncations detected via the X-Fadingd-Blocks-Sent
+	// trailer.
+	Cuts        int
+	Truncations int
+	// Sum256 is the hex SHA-256 over every complete frame in block order —
+	// the byte-identity witness: an unfaulted pass over the same range
+	// yields the same sum iff recovery reproduced the stream exactly.
+	Sum256 string
+}
+
+// Sentinel errors of the streaming path.
+var (
+	// errInjectedCut reports the client's own fault injection killed the
+	// connection (kill_resume).
+	errInjectedCut = errors.New("slolab: injected connection cut")
+	// errTruncated reports the server ended the stream early, confirmed by
+	// the trailer accounting.
+	errTruncated = errors.New("slolab: stream truncated by server")
+)
+
+// frameBytes returns the binary frame size for a session's geometry.
+func frameBytes(info *SessionInfo, gaussian bool) int {
+	n := info.N * info.BlockLength
+	size := 24 + n*8
+	if gaussian {
+		size += n * 16
+	}
+	return size
+}
+
+// Stream performs one resuming pass over a block range: it issues chunked
+// requests, survives injected cuts, server truncations and transient
+// failures by resuming at the first unreceived block, and returns only when
+// the whole range arrived (or MaxAttempts consecutive attempts made no
+// progress). Binary format only: framing is what makes cut detection and
+// byte-identity hashing exact.
+func (c *Client) Stream(info *SessionInfo, opts StreamOptions) (*StreamResult, error) {
+	end := info.Blocks
+	if opts.Count > 0 && opts.From+opts.Count < end {
+		end = opts.From + opts.Count
+	}
+	per := uint64(opts.PerRequest)
+	if per == 0 {
+		per = end - opts.From
+	}
+	frame := frameBytes(info, opts.Gaussian)
+	buf := make([]byte, frame)
+	h := sha256.New()
+	res := &StreamResult{}
+	next := opts.From
+	stalled := 0 // consecutive attempts with zero progress
+	reqIdx := 0
+	for next < end {
+		count := per
+		if next+count > end {
+			count = end - next
+		}
+		cut := -1
+		if len(opts.CutBlocks) > 0 {
+			cut = opts.CutBlocks[reqIdx%len(opts.CutBlocks)]
+		}
+		got, err := c.streamChunk(info.ID, next, count, opts, frame, cut, buf, h, res)
+		reqIdx++
+		res.Requests++
+		next += got
+		res.Blocks += got
+		if got == 0 {
+			stalled++
+		} else {
+			stalled = 0
+		}
+		if err == nil {
+			continue
+		}
+		switch {
+		case errors.Is(err, errInjectedCut):
+			res.Cuts++
+		case errors.Is(err, errTruncated):
+			res.Truncations++
+		default:
+			res.Retries++
+		}
+		if stalled >= c.maxAttempts {
+			return res, fmt.Errorf("slolab: stream stalled at block %d after %d attempts: %w", next, stalled, err)
+		}
+		if !errors.Is(err, errInjectedCut) && !errors.Is(err, errTruncated) {
+			c.sleep(c.backoff(stalled+1, 0))
+		}
+		if next < end {
+			res.Resumes++
+		}
+	}
+	res.Sum256 = hex.EncodeToString(h.Sum(nil))
+	return res, nil
+}
+
+// streamChunk issues one GET over [from, from+count) and consumes complete
+// frames into the hash, applying the configured read faults. It returns how
+// many complete frames arrived.
+func (c *Client) streamChunk(id string, from, count uint64, opts StreamOptions, frame, cutBlocks int, buf []byte, h io.Writer, res *StreamResult) (uint64, error) {
+	url := fmt.Sprintf("%s/v1/sessions/%s/stream?format=bin&from=%d&count=%d", c.base, id, from, count)
+	if opts.Gaussian {
+		url += "&gaussian=1"
+	}
+	issued := time.Now()
+	resp, err := c.httpc.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("slolab: stream: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var r io.Reader = resp.Body
+	if opts.ThrottleBytesPerSec > 0 {
+		r = &throttleReader{r: r, perSec: opts.ThrottleBytesPerSec, sleep: c.sleep}
+	}
+	var cutter *cutReader
+	if cutBlocks >= 0 {
+		limit := int64(cutBlocks) * int64(frame)
+		if opts.CutMidBlock {
+			limit += int64(frame) / 2
+		}
+		cutter = &cutReader{r: r, remaining: limit}
+		r = cutter
+	}
+	var got uint64
+	last := issued
+	for got < count {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if cutter != nil && cutter.tripped {
+				// The deferred Close abandons an undrained body, which tears
+				// down the TCP connection — a real mid-stream kill, not a
+				// polite end of request.
+				return got, errInjectedCut
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				// Early end of body: the trailer says how many blocks the
+				// server actually committed.
+				return got, fmt.Errorf("%w (trailer sent=%s, promised %d)",
+					errTruncated, resp.Trailer.Get("X-Fadingd-Blocks-Sent"), count)
+			}
+			return got, err
+		}
+		if !bytes.Equal(buf[:4], []byte("FDB1")) {
+			return got, fmt.Errorf("slolab: bad frame magic at block %d", from+got)
+		}
+		if idx := binary.LittleEndian.Uint64(buf[8:16]); idx != from+got {
+			return got, fmt.Errorf("slolab: out-of-order frame: got index %d, want %d", idx, from+got)
+		}
+		h.Write(buf)
+		res.Bytes += int64(len(buf))
+		if opts.Sampler != nil {
+			now := time.Now()
+			opts.Sampler.Record(now.Sub(last))
+			last = now
+		}
+		got++
+	}
+	// All frames consumed; drain to EOF so the trailer commits, then verify
+	// the server's accounting matches what we decoded.
+	if n, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return got, err
+	} else if n > 0 {
+		return got, fmt.Errorf("slolab: %d trailing bytes after final frame", n)
+	}
+	if v := resp.Trailer.Get("X-Fadingd-Blocks-Sent"); v != "" {
+		sent, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return got, fmt.Errorf("slolab: bad trailer %q: %w", v, err)
+		}
+		if sent != got {
+			return got, fmt.Errorf("%w (trailer says %d, decoded %d)", errTruncated, sent, got)
+		}
+	}
+	return got, nil
+}
+
+// cutReader passes bytes through until the budget is exhausted, then fails
+// every read — the injected mid-stream kill.
+type cutReader struct {
+	r         io.Reader
+	remaining int64
+	tripped   bool
+}
+
+func (c *cutReader) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		c.tripped = true
+		return 0, errInjectedCut
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.r.Read(p)
+	c.remaining -= int64(n)
+	return n, err
+}
+
+// throttleReader caps read throughput at perSec bytes per second by sleeping
+// between chunks — the slow-consumer fault. Reads are clipped to chunkSize
+// so backpressure reaches the server promptly instead of in bursts.
+type throttleReader struct {
+	r      io.Reader
+	perSec int
+	sleep  func(time.Duration)
+}
+
+// throttleChunk is the largest read the throttle lets through at once.
+const throttleChunk = 8 << 10
+
+func (t *throttleReader) Read(p []byte) (int, error) {
+	if len(p) > throttleChunk {
+		p = p[:throttleChunk]
+	}
+	n, err := t.r.Read(p)
+	if n > 0 {
+		t.sleep(time.Duration(float64(n) / float64(t.perSec) * float64(time.Second)))
+	}
+	return n, err
+}

@@ -1,0 +1,289 @@
+package slolab
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// labServer starts a real in-process fadingd for client tests.
+func labServer(t *testing.T, cfg service.Config) string {
+	t.Helper()
+	svc := service.New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts.URL
+}
+
+// labSessionSpec is the small session the client tests stream: 24 blocks of
+// the paper's worked three-envelope example.
+const labSessionSpec = `{"model": {"type": "eq22"}, "seed": 1234, "blocks": 24, "idft_points": 64}`
+
+// TestClientKillResume is the kill-and-resume release test: for a table of
+// cut schedules the resuming client must reassemble the full stream from a
+// real server, and the reassembled bytes must hash identically to a clean
+// uninterrupted pass — across block-boundary cuts, mid-block cuts, rotating
+// cut points and immediate (zero-block) kills.
+func TestClientKillResume(t *testing.T) {
+	base := labServer(t, service.Config{})
+	cases := []struct {
+		name        string
+		perRequest  int
+		cutBlocks   []int
+		cutMidBlock bool
+		wantCuts    bool
+	}{
+		{name: "boundary cut", perRequest: 8, cutBlocks: []int{2}, wantCuts: true},
+		{name: "mid-block cut", perRequest: 8, cutBlocks: []int{3}, cutMidBlock: true, wantCuts: true},
+		{name: "rotating cuts", perRequest: 6, cutBlocks: []int{1, 5, 2}, wantCuts: true},
+		{name: "immediate kill then progress", perRequest: 8, cutBlocks: []int{0, 4}, wantCuts: true},
+		{name: "mid-block immediate kill", perRequest: 8, cutBlocks: []int{0, 3}, cutMidBlock: true, wantCuts: true},
+		{name: "budget beyond chunk never trips", perRequest: 8, cutBlocks: []int{100}, wantCuts: false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			c := NewClient(ClientConfig{Base: base, Seed: 42, Sleep: func(time.Duration) {}})
+			info, _, err := c.Create([]byte(labSessionSpec))
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			defer c.Delete(info.ID)
+
+			faulted, err := c.Stream(info, StreamOptions{
+				PerRequest:  tc.perRequest,
+				CutBlocks:   tc.cutBlocks,
+				CutMidBlock: tc.cutMidBlock,
+			})
+			if err != nil {
+				t.Fatalf("faulted Stream: %v (result %+v)", err, faulted)
+			}
+			clean, err := c.Stream(info, StreamOptions{PerRequest: tc.perRequest})
+			if err != nil {
+				t.Fatalf("clean Stream: %v", err)
+			}
+
+			if faulted.Blocks != info.Blocks || clean.Blocks != info.Blocks {
+				t.Fatalf("blocks: faulted %d, clean %d, want %d", faulted.Blocks, clean.Blocks, info.Blocks)
+			}
+			if faulted.Sum256 != clean.Sum256 {
+				t.Fatalf("byte identity broken: faulted %s != clean %s", faulted.Sum256, clean.Sum256)
+			}
+			if tc.wantCuts && (faulted.Cuts == 0 || faulted.Resumes == 0) {
+				t.Fatalf("fault did not engage: %+v", faulted)
+			}
+			if !tc.wantCuts && (faulted.Cuts != 0 || faulted.Resumes != 0) {
+				t.Fatalf("unexpected fault activity: %+v", faulted)
+			}
+			if clean.Cuts != 0 || clean.Truncations != 0 || clean.Resumes != 0 {
+				t.Fatalf("clean pass saw fault activity: %+v", clean)
+			}
+		})
+	}
+}
+
+// TestClientStreamStallsOut pins the stall bound: a cut schedule that never
+// lets a byte through must fail after MaxAttempts, not hang.
+func TestClientStreamStallsOut(t *testing.T) {
+	base := labServer(t, service.Config{})
+	c := NewClient(ClientConfig{Base: base, Seed: 1, MaxAttempts: 3, Sleep: func(time.Duration) {}})
+	info, _, err := c.Create([]byte(labSessionSpec))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer c.Delete(info.ID)
+	res, err := c.Stream(info, StreamOptions{PerRequest: 8, CutBlocks: []int{0}})
+	if err == nil {
+		t.Fatalf("Stream: expected stall error, got %+v", res)
+	}
+	if res.Cuts != 3 {
+		t.Fatalf("Cuts = %d, want 3 (MaxAttempts)", res.Cuts)
+	}
+}
+
+// fakeFrame renders one well-formed binary frame with a deterministic
+// payload, so truncation tests control exactly how many frames a response
+// carries.
+func fakeFrame(index uint64, n, m int) []byte {
+	frame := make([]byte, 24+n*m*8)
+	copy(frame, "FDB1")
+	binary.LittleEndian.PutUint64(frame[8:16], index)
+	binary.LittleEndian.PutUint32(frame[16:20], uint32(n))
+	binary.LittleEndian.PutUint32(frame[20:24], uint32(m))
+	for i := range frame[24:] {
+		frame[24+i] = byte(index) + byte(i)
+	}
+	return frame
+}
+
+// truncatingServer serves valid frames but caps every response at perResponse
+// frames while still promising the full count, committing the true number in
+// the X-Fadingd-Blocks-Sent trailer — the server-side truncation the client
+// must detect and resume through.
+func truncatingServer(t *testing.T, n, m, perResponse int) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		from, _ := strconv.ParseUint(q.Get("from"), 10, 64)
+		count, _ := strconv.ParseUint(q.Get("count"), 10, 64)
+		w.Header().Set("X-Fadingd-Blocks", strconv.FormatUint(count, 10))
+		w.Header().Set("Trailer", "X-Fadingd-Blocks-Sent")
+		w.WriteHeader(http.StatusOK)
+		sent := uint64(0)
+		for ; sent < count && sent < uint64(perResponse); sent++ {
+			w.Write(fakeFrame(from+sent, n, m))
+		}
+		w.Header().Set("X-Fadingd-Blocks-Sent", strconv.FormatUint(sent, 10))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClientTruncationResume exercises the trailer accounting: every request
+// to the truncating server comes back short, and the client must notice each
+// truncation and keep resuming until the range is complete.
+func TestClientTruncationResume(t *testing.T) {
+	const n, m = 1, 4
+	ts := truncatingServer(t, n, m, 3)
+	c := NewClient(ClientConfig{Base: ts.URL, Seed: 5, Sleep: func(time.Duration) {}})
+	info := &SessionInfo{ID: "fake", N: n, BlockLength: m, Blocks: 10}
+	res, err := c.Stream(info, StreamOptions{PerRequest: 10})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if res.Blocks != 10 {
+		t.Fatalf("Blocks = %d, want 10", res.Blocks)
+	}
+	// 10 blocks at 3 per truncated response: requests serve 3+3+3+1; the
+	// last response (1 of 1 requested) is complete, so 3 truncations.
+	if res.Truncations != 3 || res.Resumes != 3 {
+		t.Fatalf("Truncations = %d, Resumes = %d, want 3 and 3 (result %+v)", res.Truncations, res.Resumes, res)
+	}
+
+	clean, err := c.Stream(info, StreamOptions{PerRequest: 3})
+	if err != nil {
+		t.Fatalf("clean Stream: %v", err)
+	}
+	if clean.Sum256 != res.Sum256 {
+		t.Fatal("resumed stream is not byte-identical to the clean pass")
+	}
+}
+
+// overloadServer rejects the first `rejections` creates with the given
+// status, then accepts.
+func overloadServer(t *testing.T, rejections int, status int, retryAfter string) *httptest.Server {
+	t.Helper()
+	seen := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if seen < rejections {
+			seen++
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			fmt.Fprintf(w, `{"code": "session_limit", "error": "full"}`)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, `{"id": "s1", "method": "generalized", "n": 1, "block_length": 4, "blocks": 8}`)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClientCreateRetry pins the overload-retry contract: 429s with
+// Retry-After are honored (the hint becomes the sleep, capped at
+// MaxBackoff), the create eventually succeeds, and the stats count every
+// rejection.
+func TestClientCreateRetry(t *testing.T) {
+	ts := overloadServer(t, 2, http.StatusTooManyRequests, "1")
+	var sleeps []time.Duration
+	c := NewClient(ClientConfig{
+		Base:       ts.URL,
+		MaxBackoff: 200 * time.Millisecond,
+		Seed:       9,
+		Sleep:      func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	info, stats, err := c.Create([]byte(`{}`))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if info.ID != "s1" {
+		t.Fatalf("info.ID = %q", info.ID)
+	}
+	if stats.Attempts != 3 || stats.Rejections != 2 || stats.RetryAfterSeen != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want 2 entries", sleeps)
+	}
+	// Retry-After of 1s exceeds MaxBackoff (200ms), so the cap applies.
+	for _, d := range sleeps {
+		if d != 200*time.Millisecond {
+			t.Fatalf("sleep %v, want capped 200ms", d)
+		}
+	}
+}
+
+// TestClientCreateExhaustsAttempts pins the give-up bound against a server
+// that never stops rejecting.
+func TestClientCreateExhaustsAttempts(t *testing.T) {
+	ts := overloadServer(t, 1<<30, http.StatusServiceUnavailable, "")
+	c := NewClient(ClientConfig{Base: ts.URL, MaxAttempts: 4, Seed: 3, Sleep: func(time.Duration) {}})
+	_, stats, err := c.Create([]byte(`{}`))
+	if err == nil {
+		t.Fatal("Create: expected exhaustion error")
+	}
+	if stats.Attempts != 4 || stats.Rejections != 4 || stats.RetryAfterSeen != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestClientTryCreateRejection pins the single-shot rejection parse.
+func TestClientTryCreateRejection(t *testing.T) {
+	ts := overloadServer(t, 1<<30, http.StatusTooManyRequests, "2")
+	c := NewClient(ClientConfig{Base: ts.URL, Seed: 3})
+	info, rej, err := c.TryCreate([]byte(`{}`))
+	if err != nil || info != nil {
+		t.Fatalf("TryCreate: info %v, err %v", info, err)
+	}
+	if rej.Status != http.StatusTooManyRequests || rej.Code != "session_limit" {
+		t.Fatalf("rejection = %+v", rej)
+	}
+	if !rej.HasRetryAfter || rej.RetryAfter != 2*time.Second {
+		t.Fatalf("Retry-After not parsed: %+v", rej)
+	}
+}
+
+// TestBackoffSchedule pins the jittered schedule: doubling from BaseBackoff,
+// capped at MaxBackoff, full jitter within [d/2, d].
+func TestBackoffSchedule(t *testing.T) {
+	c := NewClient(ClientConfig{Base: "x", BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Seed: 7})
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := 100 * time.Millisecond << (attempt - 1)
+		if d <= 0 || d > time.Second {
+			d = time.Second
+		}
+		got := c.backoff(attempt, 0)
+		if got < d/2 || got > d {
+			t.Fatalf("backoff(%d) = %v outside [%v, %v]", attempt, got, d/2, d)
+		}
+	}
+	if got := c.backoff(1, 500*time.Millisecond); got != 500*time.Millisecond {
+		t.Fatalf("backoff with hint = %v, want 500ms", got)
+	}
+	if got := c.backoff(1, time.Hour); got != time.Second {
+		t.Fatalf("backoff with oversized hint = %v, want the 1s cap", got)
+	}
+}

@@ -1,0 +1,261 @@
+package slolab
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/chanspec"
+	"repro/internal/service"
+)
+
+// engineSpec builds a small fast scenario the engine tests specialize.
+func engineSpec(name string) *Spec {
+	return &Spec{
+		Name:    name,
+		Seed:    11,
+		Clients: 2,
+		Session: service.SessionSpec{
+			Model:      chanspec.Model{Type: "eq22"},
+			Blocks:     16,
+			IDFTPoints: 64,
+		},
+		BlocksPerRequest: 4,
+		Phases: Phases{
+			Warmup:  PhaseSpec{Units: 2},
+			Inject:  PhaseSpec{Units: 8},
+			Recover: PhaseSpec{Units: 2},
+		},
+		Fault: Fault{Type: FaultNone},
+		Gates: []GateSpec{
+			{Type: GateErrorRate},
+			{Type: GateTruncatedRate},
+		},
+	}
+}
+
+// TestEngineDeterministicFingerprint is the rerun-invariance contract: two
+// runs of one spec must agree on every deterministic field — fingerprint,
+// work accounting — with timing as the only difference.
+func TestEngineDeterministicFingerprint(t *testing.T) {
+	spec := engineSpec("steady")
+	a, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(a.Fingerprint, b.Fingerprint) {
+		t.Fatalf("fingerprints differ:\n%+v\n%+v", a.Fingerprint, b.Fingerprint)
+	}
+	if a.Fingerprint.PlannedBlocks != 2*(2+8+2) {
+		t.Fatalf("PlannedBlocks = %d", a.Fingerprint.PlannedBlocks)
+	}
+	for _, name := range phaseOrder {
+		pa, pb := a.Phases[name], b.Phases[name]
+		if pa.Blocks != pb.Blocks || pa.Requests != pb.Requests || pa.Errors != pb.Errors {
+			t.Fatalf("%s phase accounting differs: %+v vs %+v", name, pa, pb)
+		}
+	}
+	if !a.Passed || !b.Passed {
+		t.Fatalf("clean runs failed gates: %+v", a.Gates)
+	}
+	// The full planned workload must have been served: per client, warmup
+	// streams [0,2), inject [0,8), recover [0,2).
+	if got := a.Phases[PhaseInject].Blocks; got != 16 {
+		t.Fatalf("inject blocks = %d, want 16", got)
+	}
+	if a.Phases[PhaseWarmup].Creates != 2 || a.Phases[PhaseRecover].Deletes != 2 {
+		t.Fatalf("session lifecycle not attributed: warmup %+v, recover %+v",
+			a.Phases[PhaseWarmup], a.Phases[PhaseRecover])
+	}
+	if a.Phases[PhaseWarmup].CreateLatency.Count != 2 {
+		t.Fatalf("create latency samples = %d, want 2", a.Phases[PhaseWarmup].CreateLatency.Count)
+	}
+}
+
+// TestEngineKillResume runs the full fault loop: cuts engage during inject,
+// the byte-identity verification passes, and the resumes gate cannot pass
+// vacuously.
+func TestEngineKillResume(t *testing.T) {
+	spec := engineSpec("killer")
+	spec.Fault = Fault{Type: FaultKillResume, CutBlocks: []int{1, 3}, CutMidBlock: true}
+	spec.Gates = []GateSpec{
+		{Type: GateErrorRate},
+		{Type: GateByteIdentity},
+		{Type: GateResumes, MinResumes: 2},
+		{Type: GateTruncatedRate, Phase: PhaseRecover},
+	}
+	sum, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Identity == nil {
+		t.Fatal("no identity report")
+	}
+	if sum.Identity.Matched != spec.Clients || len(sum.Identity.MismatchedClients) != 0 {
+		t.Fatalf("identity: %+v", sum.Identity)
+	}
+	if sum.Identity.Cuts == 0 || sum.Identity.Resumes == 0 {
+		t.Fatalf("fault never engaged: %+v", sum.Identity)
+	}
+	if !sum.Passed {
+		t.Fatalf("gates failed: %+v", sum.Gates)
+	}
+}
+
+// TestEngineSaturate pins the deterministic overload arithmetic: with the
+// table exactly full of primaries, every doomed create must come back as a
+// structured rejection carrying Retry-After.
+func TestEngineSaturate(t *testing.T) {
+	spec := engineSpec("saturated")
+	spec.Server.MaxSessions = spec.Clients
+	spec.Fault = Fault{Type: FaultSaturate, ExtraSessions: 3}
+	spec.Gates = []GateSpec{
+		{Type: GateErrorRate},
+		{Type: GateRetryAfter, MinRejections: 6},
+	}
+	sum, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	inject := sum.Phases[PhaseInject]
+	if inject.Rejections != 6 {
+		t.Fatalf("Rejections = %d, want clients*extra = 6", inject.Rejections)
+	}
+	if inject.RetryAfterSeen != 6 {
+		t.Fatalf("RetryAfterSeen = %d, want 6", inject.RetryAfterSeen)
+	}
+	if !sum.Passed {
+		t.Fatalf("gates failed: %+v", sum.Gates)
+	}
+}
+
+// TestEngineSpecChurn checks the cold/warm split: inject performs
+// clients*units creates, each landing create-latency samples, and the
+// create/delete accounting balances.
+func TestEngineSpecChurn(t *testing.T) {
+	spec := engineSpec("churny")
+	spec.Phases = Phases{Warmup: PhaseSpec{Units: 2}, Inject: PhaseSpec{Units: 3}, Recover: PhaseSpec{Units: 1}}
+	spec.Fault = Fault{Type: FaultSpecChurn}
+	spec.Gates = []GateSpec{{Type: GateErrorRate}, {Type: GateErrorRate, Phase: PhaseRecover}}
+	sum, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	inject := sum.Phases[PhaseInject]
+	if inject.Creates != 6 || inject.Deletes != 6 {
+		t.Fatalf("churn accounting: %+v", inject)
+	}
+	if inject.CreateLatency.Count != 6 {
+		t.Fatalf("create latency samples = %d, want 6", inject.CreateLatency.Count)
+	}
+	if inject.Blocks != 0 {
+		t.Fatalf("spec_churn streamed %d blocks, want 0", inject.Blocks)
+	}
+	if !sum.Passed {
+		t.Fatalf("gates failed: %+v", sum.Gates)
+	}
+}
+
+// TestEngineConnChurn checks the storm workload streams through fresh
+// connections and still accounts blocks deterministically.
+func TestEngineConnChurn(t *testing.T) {
+	spec := engineSpec("stormy")
+	spec.Phases = Phases{Inject: PhaseSpec{Units: 3}}
+	spec.Fault = Fault{Type: FaultConnChurn, BlocksPerConn: 2}
+	spec.Gates = []GateSpec{{Type: GateErrorRate}, {Type: GateThroughput, MinBlocksPerSec: 0.001}}
+	sum, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	inject := sum.Phases[PhaseInject]
+	if inject.Blocks != 2*3*2 {
+		t.Fatalf("Blocks = %d, want clients*units*blocks_per_conn = 12", inject.Blocks)
+	}
+	if inject.Creates != 6 || inject.Deletes != 6 {
+		t.Fatalf("churn accounting: %+v", inject)
+	}
+	if sum.Fingerprint.PlannedBlocks != 12 {
+		t.Fatalf("PlannedBlocks = %d, want 12", sum.Fingerprint.PlannedBlocks)
+	}
+	if !sum.Passed {
+		t.Fatalf("gates failed: %+v", sum.Gates)
+	}
+}
+
+// TestEngineGateFailure proves a violated gate actually fails the scenario:
+// an impossible throughput floor cannot pass.
+func TestEngineGateFailure(t *testing.T) {
+	spec := engineSpec("doomed")
+	spec.Gates = []GateSpec{{Type: GateThroughput, MinBlocksPerSec: 1e12}}
+	sum, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Passed {
+		t.Fatal("impossible gate passed")
+	}
+	if len(sum.Gates) != 1 || sum.Gates[0].Passed || sum.Gates[0].Skipped {
+		t.Fatalf("gate results: %+v", sum.Gates)
+	}
+}
+
+// TestEngineArtifacts checks the artifact pair lands on disk and parses.
+func TestEngineArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	spec := engineSpec("artifacty")
+	sum, err := Run(spec, RunOptions{ArtifactsDir: dir, Commit: "deadbeef"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Provenance.Commit != "deadbeef" || !sum.Provenance.InProcess {
+		t.Fatalf("provenance: %+v", sum.Provenance)
+	}
+
+	var onDisk Summary
+	data, err := os.ReadFile(filepath.Join(dir, "artifacty.summary.json"))
+	if err != nil {
+		t.Fatalf("summary artifact: %v", err)
+	}
+	if err := json.Unmarshal(data, &onDisk); err != nil {
+		t.Fatalf("summary artifact: %v", err)
+	}
+	if onDisk.Fingerprint.ConfigHash != spec.ConfigHash() {
+		t.Fatalf("artifact config hash %q != spec %q", onDisk.Fingerprint.ConfigHash, spec.ConfigHash())
+	}
+
+	var raw rawSamples
+	data, err = os.ReadFile(filepath.Join(dir, "artifacty.samples.json"))
+	if err != nil {
+		t.Fatalf("samples artifact: %v", err)
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("samples artifact: %v", err)
+	}
+	if len(raw.Phases[PhaseInject]["block_ms"]) == 0 {
+		t.Fatal("samples artifact has no inject block samples")
+	}
+}
+
+// TestEngineSlowConsumer smoke-runs the throttle path with a rate high
+// enough to finish quickly while still exercising the reader wrapper.
+func TestEngineSlowConsumer(t *testing.T) {
+	spec := engineSpec("sluggish")
+	spec.Phases = Phases{Inject: PhaseSpec{Units: 4}}
+	spec.Fault = Fault{Type: FaultSlowConsumer, BytesPerSec: 4 << 20}
+	sum, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Phases[PhaseInject].Blocks != 8 {
+		t.Fatalf("Blocks = %d, want 8", sum.Phases[PhaseInject].Blocks)
+	}
+	if !sum.Passed {
+		t.Fatalf("gates failed: %+v", sum.Gates)
+	}
+}
