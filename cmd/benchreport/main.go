@@ -189,6 +189,78 @@ func backendBenchmarks(name string, k *cmplxmat.Matrix, methods []string) []resu
 	return out
 }
 
+// fadingModelBenchmarks measures the batched snapshot path per channel model:
+// each fading model wraps the generalized backend on the same covariance
+// target, so the marginal cost of the per-sample envelope transform (Rician
+// LOS shift, Nakagami probability-integral transform, Suzuki lognormal
+// shadowing) is gated separately from the underlying engine. The name scheme
+// extends the backend family: "BackendBatchedThroughput/<target>/generalized/<model>".
+func fadingModelBenchmarks(name string, k *cmplxmat.Matrix) []result {
+	models := []struct {
+		fading string
+		params *chanspec.FadingParams
+	}{
+		{chanspec.FadingRician, &chanspec.FadingParams{KFactor: 4}},
+		{chanspec.FadingNakagamiM, &chanspec.FadingParams{M: 2.5}},
+		{chanspec.FadingSuzuki, &chanspec.FadingParams{ShadowSigmaDB: 6, ShadowCoherence: 64}},
+	}
+	var out []result
+	for _, m := range models {
+		gen, err := backend.NewWithFading(chanspec.MethodGeneralized, m.fading, m.params, k, 71)
+		if err != nil {
+			fatalf("model %s on %s: %v", m.fading, name, err)
+		}
+		n := gen.N()
+		batch := make([]core.Snapshot, backendBatchSize)
+		for i := range batch {
+			batch[i].Gaussian = make([]complex128, n)
+			batch[i].Envelopes = make([]float64, n)
+		}
+		out = append(out, measure(
+			"BackendBatchedThroughput/"+name+"/generalized/"+m.fading, n*backendBatchSize,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := gen.GenerateBatchInto(batch, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+	return out
+}
+
+// nonstationaryBenchmark measures the real-time block path under a two-leg
+// Doppler trajectory (the only mode the nonstationary model supports — it has
+// no snapshot form). The segment seam sits inside the measured range, so the
+// per-segment panel dispatch is part of the gated cost.
+func nonstationaryBenchmark(name string, k *cmplxmat.Matrix) []result {
+	gen, err := core.NewRealTimeGenerator(core.RealTimeConfig{
+		Covariance:    k,
+		Filter:        doppler.FilterSpec{M: 4096},
+		InputVariance: 0.5,
+		Seed:          67,
+		DopplerSegments: []core.DopplerSegment{
+			{Blocks: 8, NormalizedDoppler: 0.02},
+			{Blocks: 8, NormalizedDoppler: 0.1},
+		},
+	})
+	if err != nil {
+		fatalf("nonstationary generator %s: %v", name, err)
+	}
+	samples := gen.N() * gen.BlockLength()
+	return []result{
+		measure("RealTimeBlockThroughput/"+name+"/nonstationary_doppler", samples, func(b *testing.B) {
+			blk := core.NewBlock(gen.N(), gen.BlockLength())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := gen.GenerateBlockInto(blk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+}
+
 // sessionCreateBenchmarks measures the fadingd session-create path, the
 // service-level counterpart of the loadtest churn mode: cold is a distinct
 // spec per op (every create pays the full covariance/eigen/Doppler-plan
@@ -304,6 +376,11 @@ func main() {
 	rep.Benchmarks = append(rep.Benchmarks, backendBenchmarks("N=2", pair, []string{
 		chanspec.MethodErtelReed,
 	})...)
+	// Per-model batched benchmarks (channel-model zoo, docs/models.md): the
+	// composite envelope models on the snapshot path, the trajectory model on
+	// the real-time path it requires.
+	rep.Benchmarks = append(rep.Benchmarks, fadingModelBenchmarks("N=3", eq23)...)
+	rep.Benchmarks = append(rep.Benchmarks, nonstationaryBenchmark("N=3", scenario.Eq22Covariance())...)
 	rep.Benchmarks = append(rep.Benchmarks, sessionCreateBenchmarks(16)...)
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -42,6 +42,23 @@
 // "comparison" assertion runs one covariance target across several methods
 // side by side (see the scenarios/compare-*.json specs).
 //
+// # Channel models
+//
+// Orthogonal to the method axis, a fading model (Config.Fading /
+// RealTimeConfig.Fading plus FadingParams) reshapes the correlated Rayleigh
+// field any backend produces: FadingRician adds a deterministic
+// line-of-sight component after coloring (K-factor, mean power preserved),
+// FadingNakagamiM applies the exact probability-integral transform onto a
+// Nakagami-m envelope, FadingSuzuki multiplies by correlated lognormal
+// shadowing with its own coherence length, and FadingNonstationaryDoppler
+// drives real-time blocks through a piecewise Doppler-velocity trajectory
+// (each segment carries its own Jakes autocorrelation; snapshot modes
+// reject it, having no time axis). Every model preserves the determinism
+// contract — block k remains a pure function of (spec, seed, k), byte-
+// identical across worker counts and resume points. Models returns the
+// catalog; the math, spec schema and statistical gates are documented in
+// docs/models.md.
+//
 // # Performance
 //
 // The generation hot path is a zero-allocation batched engine. Both modes

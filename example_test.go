@@ -162,3 +162,97 @@ func ExampleMethods() {
 	// natarajan
 	// sorooshyari_daut
 }
+
+// ExampleConfig_fading selects a fading model from the channel-model zoo:
+// the same covariance target and seed, realized as Rician fading with a
+// K-factor of 4. The line-of-sight component is added after coloring, so
+// the scattered part keeps the target correlation and the mean power stays
+// on the covariance diagonal (see docs/models.md).
+func ExampleConfig_fading() {
+	gen, err := rayleigh.New(rayleigh.Config{
+		Covariance: [][]complex128{{1, 0.6}, {0.6, 1}},
+		Seed:       11,
+		Fading:     rayleigh.FadingRician,
+		FadingParams: &rayleigh.FadingParams{
+			KFactor:     4,
+			LOSPhaseRad: 0.5,
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	// The moment estimator recovers the K-factor: K = |mean|²/(E|z|²−|mean|²).
+	var mean complex128
+	var power float64
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		z := gen.Snapshot().Gaussian[0]
+		mean += z
+		power += real(z)*real(z) + imag(z)*imag(z)
+	}
+	mean /= draws
+	power /= draws
+	los := real(mean)*real(mean) + imag(mean)*imag(mean)
+	k := los / (power - los)
+
+	fmt.Println("mean power within 2% of target:", math.Abs(power-1) < 0.02)
+	fmt.Println("K estimate within 10% of 4:", math.Abs(k-4)/4 < 0.1)
+	// Output:
+	// mean power within 2% of target: true
+	// K estimate within 10% of 4: true
+}
+
+// ExampleStream_nonstationaryDoppler drives a real-time stream through a
+// piecewise Doppler-velocity trajectory: the first three blocks are
+// generated at fm = 0.02, the rest at fm = 0.1, each segment carrying its
+// own Jakes autocorrelation. Blocks stay pure functions of (spec, seed, k),
+// so a cursor seeking straight into the second segment reproduces exactly
+// what a from-0 consumer saw there.
+func ExampleStream_nonstationaryDoppler() {
+	stream, err := rayleigh.NewStream(rayleigh.RealTimeConfig{
+		Covariance: [][]complex128{{1}},
+		IDFTPoints: 512,
+		Seed:       21,
+		Fading:     rayleigh.FadingNonstationaryDoppler,
+		FadingParams: &rayleigh.FadingParams{
+			Segments: []rayleigh.DopplerSegment{
+				{Blocks: 3, NormalizedDoppler: 0.02},
+				{Blocks: 3, NormalizedDoppler: 0.1}, // persists past the end
+			},
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	// The Jakes model in effect changes at the block-3 segment seam.
+	fmt.Println("same model within a segment:",
+		stream.TheoreticalAutocorrelationAt(0, 40) == stream.TheoreticalAutocorrelationAt(2, 40))
+	fmt.Println("model changes across the seam:",
+		stream.TheoreticalAutocorrelationAt(2, 40) != stream.TheoreticalAutocorrelationAt(3, 40))
+
+	// Sequential walk to block 4 (second segment)…
+	walk, _ := stream.NewCursor()
+	var b rayleigh.Block
+	for i := 0; i < 5; i++ {
+		walk.Next(&b)
+	}
+	// …and a direct seek to block 4 produce identical bytes.
+	seek, _ := stream.NewCursor()
+	seek.Seek(4)
+	var resumed rayleigh.Block
+	seek.Next(&resumed)
+
+	identical := true
+	for l := range b.Gaussian[0] {
+		identical = identical && b.Gaussian[0][l] == resumed.Gaussian[0][l]
+	}
+	fmt.Println("mid-trajectory seek identical:", identical)
+	// Output:
+	// same model within a segment: true
+	// model changes across the seam: true
+	// mid-trajectory seek identical: true
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/chanspec"
 	"repro/internal/cmplxmat"
 	"repro/internal/core"
+	"repro/internal/fading"
 	"repro/internal/randx"
 )
 
@@ -74,6 +75,86 @@ func New(method string, k *cmplxmat.Matrix, seed int64) (Backend, error) {
 		rng:    rng,
 		root:   rng.Split(),
 	}, nil
+}
+
+// NewWithFading resolves a (method, fading model) pair against a covariance
+// target: the method's Backend with the fading model's sample transform
+// applied to every draw (see internal/fading). The transform offset is the
+// running draw index, so batched and single-draw paths shadow consistently.
+// The nonstationary-Doppler model needs a time axis and is rejected here
+// (chanspec.ErrBadSpec): it is a real-time block mode concern.
+func NewWithFading(method, fading string, params *chanspec.FadingParams, k *cmplxmat.Matrix, seed int64) (Backend, error) {
+	if chanspec.NormalizeFading(fading) == chanspec.FadingNonstationaryDoppler {
+		return nil, fmt.Errorf("backend: fading %q needs a real-time block mode (snapshots have no time axis): %w",
+			fading, chanspec.ErrBadSpec)
+	}
+	tr, err := Transform(fading, params, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	b, err := New(method, k, seed)
+	if err != nil || tr == nil {
+		return b, err
+	}
+	return &transformed{Backend: b, tr: tr}, nil
+}
+
+// Transform builds the fading model's sample transform for a covariance
+// target (nil for the Rayleigh default and the panel-level nonstationary
+// model). The target's diagonal supplies the per-envelope mean powers Ω_j;
+// the public API, the scenario harness and the service all thread real-time
+// transforms through here so the zoo models see one definition of Ω.
+func Transform(fadingModel string, params *chanspec.FadingParams, k *cmplxmat.Matrix, seed int64) (core.Transform, error) {
+	if k == nil {
+		return nil, fmt.Errorf("backend: nil covariance matrix: %w", chanspec.ErrBadSpec)
+	}
+	powers := make([]float64, k.Rows())
+	for j := range powers {
+		powers[j] = real(k.At(j, j))
+	}
+	tr, err := fading.New(fadingModel, params, powers, seed)
+	if err != nil {
+		return nil, fmt.Errorf("backend: %w", err)
+	}
+	if tr == nil {
+		return nil, nil
+	}
+	return tr, nil
+}
+
+// transformed decorates a Backend with a fading sample transform, tracking
+// the global draw index so sample-indexed models (Suzuki shadowing) stay
+// deterministic across batch boundaries.
+type transformed struct {
+	Backend
+	tr   core.Transform
+	next uint64
+}
+
+func (t *transformed) GenerateInto(gaussian []complex128, env []float64) error {
+	if err := t.Backend.GenerateInto(gaussian, env); err != nil {
+		return err
+	}
+	for j := range gaussian {
+		t.tr.Apply(j, t.next, gaussian[j:j+1], env[j:j+1])
+	}
+	t.next++
+	return nil
+}
+
+func (t *transformed) GenerateBatchInto(dst []core.Snapshot, workers int) error {
+	if err := t.Backend.GenerateBatchInto(dst, workers); err != nil {
+		return err
+	}
+	for i := range dst {
+		off := t.next + uint64(i)
+		g, e := dst[i].Gaussian, dst[i].Envelopes
+		for j := range g {
+			t.tr.Apply(j, off, g[j:j+1], e[j:j+1])
+		}
+	}
+	t.next += uint64(len(dst))
+	return nil
 }
 
 // RealtimeOverride resolves a method name into the core.RealTimeConfig

@@ -75,6 +75,12 @@ type Model struct {
 	SpacingWavelengths float64 `json:"spacing_wavelengths,omitempty"`
 	AngularSpreadRad   float64 `json:"angular_spread_rad,omitempty"`
 	MeanAngleRad       float64 `json:"mean_angle_rad,omitempty"`
+	// Fading selects the envelope distribution layered on the correlated
+	// Gaussian engine ("rayleigh" default, "rician", "nakagami_m", "suzuki",
+	// "nonstationary_doppler"); Params carries its parameters. See the
+	// Fading* constants and docs/models.md.
+	Fading string        `json:"fading,omitempty"`
+	Params *FadingParams `json:"params,omitempty"`
 }
 
 // Complex is a complex128 that marshals as the two-element JSON array
@@ -136,6 +142,7 @@ func (m *Model) Canonical() []byte {
 	default:
 		c = *m
 	}
+	c.Fading, c.Params = canonicalFading(m.Fading, m.Params)
 	// Model contains only marshal-safe fields, so encoding cannot fail.
 	b, _ := json.Marshal(&c)
 	return b
@@ -168,7 +175,7 @@ func (m *Model) Validate() error {
 	default:
 		return fmt.Errorf("unknown model type %q: %w", m.Type, ErrBadSpec)
 	}
-	return nil
+	return ValidateFading(m.Fading, m.Params)
 }
 
 // Eq22Covariance returns the paper's Eq. (22) covariance matrix: three

@@ -1,0 +1,215 @@
+package chanspec
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestValidateFading(t *testing.T) {
+	bad := []struct {
+		fading string
+		params *FadingParams
+	}{
+		{"warp", nil},
+		{FadingRician, nil},
+		{FadingRician, &FadingParams{KFactor: -1}},
+		{FadingNakagamiM, nil},
+		{FadingNakagamiM, &FadingParams{M: 0.25}},
+		{FadingSuzuki, nil},
+		{FadingSuzuki, &FadingParams{ShadowSigmaDB: 0}},
+		{FadingSuzuki, &FadingParams{ShadowSigmaDB: 4, ShadowCoherence: -1}},
+		{FadingNonstationaryDoppler, nil},
+		{FadingNonstationaryDoppler, &FadingParams{}},
+		{FadingNonstationaryDoppler, &FadingParams{Segments: []DopplerSegment{{Blocks: 0, NormalizedDoppler: 0.1}}}},
+		{FadingNonstationaryDoppler, &FadingParams{Segments: []DopplerSegment{{Blocks: 2, NormalizedDoppler: 0.5}}}},
+	}
+	for i, c := range bad {
+		if err := ValidateFading(c.fading, c.params); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("bad fading %d (%q): err = %v, want ErrBadSpec", i, c.fading, err)
+		}
+	}
+	good := []struct {
+		fading string
+		params *FadingParams
+	}{
+		{"", nil},
+		{FadingRayleigh, nil},
+		{FadingRician, &FadingParams{KFactor: 0}},
+		{FadingRician, &FadingParams{KFactor: 5, LOSPhaseRad: 1}},
+		{FadingNakagamiM, &FadingParams{M: 0.5}},
+		{FadingNakagamiM, &FadingParams{M: 3}},
+		{FadingSuzuki, &FadingParams{ShadowSigmaDB: 4.3}},
+		{FadingNonstationaryDoppler, &FadingParams{Segments: []DopplerSegment{
+			{Blocks: 4, NormalizedDoppler: 0.02}, {Blocks: 4, NormalizedDoppler: 0.1},
+		}}},
+	}
+	for i, c := range good {
+		if err := ValidateFading(c.fading, c.params); err != nil {
+			t.Errorf("good fading %d (%q): %v", i, c.fading, err)
+		}
+	}
+}
+
+func TestFadingCatalog(t *testing.T) {
+	infos := FadingModels()
+	if len(infos) != 5 {
+		t.Fatalf("catalog has %d models, want 5", len(infos))
+	}
+	if infos[0].Name != FadingRayleigh {
+		t.Fatalf("catalog leads with %q, want the Rayleigh default", infos[0].Name)
+	}
+	names := FadingNames()
+	for i, info := range infos {
+		if names[i] != info.Name {
+			t.Fatalf("FadingNames[%d] = %q, want %q", i, names[i], info.Name)
+		}
+		params := &FadingParams{KFactor: 2, M: 1.5, ShadowSigmaDB: 4,
+			Segments: []DopplerSegment{{Blocks: 2, NormalizedDoppler: 0.05}}}
+		if err := ValidateFading(info.Name, params); err != nil {
+			t.Errorf("catalog model %q does not validate with full params: %v", info.Name, err)
+		}
+	}
+}
+
+func TestSegmentIndexAt(t *testing.T) {
+	segs := []DopplerSegment{{Blocks: 3, NormalizedDoppler: 0.02}, {Blocks: 2, NormalizedDoppler: 0.1}}
+	want := []int{0, 0, 0, 1, 1, 1, 1} // last segment persists past the trajectory
+	for b, w := range want {
+		if got := SegmentIndexAt(segs, uint64(b)); got != w {
+			t.Errorf("SegmentIndexAt(%d) = %d, want %d", b, got, w)
+		}
+	}
+	if got := SegmentIndexAt(nil, 7); got != 0 {
+		t.Errorf("SegmentIndexAt(nil, 7) = %d, want 0", got)
+	}
+}
+
+// TestCanonicalFading pins the canonicalization rules: the Rayleigh default
+// encodes to the pre-zoo bytes, parameters other models read are dropped, and
+// defaults are resolved.
+func TestCanonicalFading(t *testing.T) {
+	base := Model{Type: ModelEq22}
+	rayleigh := Model{Type: ModelEq22, Fading: FadingRayleigh,
+		Params: &FadingParams{} /* empty params carry no information */}
+	if !bytes.Equal(base.Canonical(), rayleigh.Canonical()) {
+		t.Fatalf("explicit rayleigh canonical differs from default:\n%s\n%s",
+			base.Canonical(), rayleigh.Canonical())
+	}
+	// A foreign parameter must not change the canonical encoding.
+	a := Model{Type: ModelEq22, Fading: FadingRician, Params: &FadingParams{KFactor: 2}}
+	b := Model{Type: ModelEq22, Fading: FadingRician, Params: &FadingParams{KFactor: 2, M: 9}}
+	if !bytes.Equal(a.Canonical(), b.Canonical()) {
+		t.Fatalf("foreign param changed rician canonical:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	// The Suzuki coherence default must resolve.
+	c := Model{Type: ModelEq22, Fading: FadingSuzuki, Params: &FadingParams{ShadowSigmaDB: 4}}
+	d := Model{Type: ModelEq22, Fading: FadingSuzuki,
+		Params: &FadingParams{ShadowSigmaDB: 4, ShadowCoherence: DefaultShadowCoherence}}
+	if !bytes.Equal(c.Canonical(), d.Canonical()) {
+		t.Fatalf("suzuki coherence default not resolved:\n%s\n%s", c.Canonical(), d.Canonical())
+	}
+}
+
+// TestCanonicalCoversEveryField is the exhaustiveness audit of ISSUE 7: every
+// field of Model and FadingParams must be proven to move the canonical
+// encoding via a mutator in the table below (on a model type/fading model
+// that reads it). A field added without a table entry fails the test, so a
+// new parameter can never be silently dropped from the setup-cache hash.
+func TestCanonicalCoversEveryField(t *testing.T) {
+	// Each entry: the struct field name, a base model whose canonical bytes
+	// must change when the mutator touches that field.
+	type coverage struct {
+		base   Model
+		mutate func(*Model)
+	}
+	modelCases := map[string]coverage{
+		"Type":       {Model{Type: ModelEq22}, func(m *Model) { m.Type = ModelIdentity; m.N = 3 }},
+		"N":          {Model{Type: ModelIdentity, N: 3}, func(m *Model) { m.N = 4 }},
+		"Power":      {Model{Type: ModelIdentity, N: 3}, func(m *Model) { m.Power = 2 }},
+		"Rho":        {Model{Type: ModelExponential, N: 3, Rho: 0.5}, func(m *Model) { m.Rho = 0.7 }},
+		"PhaseRad":   {Model{Type: ModelExponential, N: 3, Rho: 0.5}, func(m *Model) { m.PhaseRad = 0.1 }},
+		"Covariance": {Model{Type: ModelExplicit, Covariance: [][]Complex{{1}}}, func(m *Model) { m.Covariance = [][]Complex{{2}} }},
+		"CarrierSpacingHz": {Model{Type: ModelSpectral, N: 2, CarrierSpacingHz: 1e5, MaxDopplerHz: 50, RMSDelaySpreadS: 1e-6, DelayStepS: 1e-3},
+			func(m *Model) { m.CarrierSpacingHz = 2e5 }},
+		"MaxDopplerHz": {Model{Type: ModelSpectral, N: 2, CarrierSpacingHz: 1e5, MaxDopplerHz: 50, RMSDelaySpreadS: 1e-6, DelayStepS: 1e-3},
+			func(m *Model) { m.MaxDopplerHz = 80 }},
+		"RMSDelaySpreadS": {Model{Type: ModelSpectral, N: 2, CarrierSpacingHz: 1e5, MaxDopplerHz: 50, RMSDelaySpreadS: 1e-6, DelayStepS: 1e-3},
+			func(m *Model) { m.RMSDelaySpreadS = 2e-6 }},
+		"DelayStepS": {Model{Type: ModelSpectral, N: 2, CarrierSpacingHz: 1e5, MaxDopplerHz: 50, RMSDelaySpreadS: 1e-6, DelayStepS: 1e-3},
+			func(m *Model) { m.DelayStepS = 2e-3 }},
+		"SpacingWavelengths": {Model{Type: ModelSpatial, N: 2, SpacingWavelengths: 1, AngularSpreadRad: 0.2},
+			func(m *Model) { m.SpacingWavelengths = 2 }},
+		"AngularSpreadRad": {Model{Type: ModelSpatial, N: 2, SpacingWavelengths: 1, AngularSpreadRad: 0.2},
+			func(m *Model) { m.AngularSpreadRad = 0.3 }},
+		"MeanAngleRad": {Model{Type: ModelSpatial, N: 2, SpacingWavelengths: 1, AngularSpreadRad: 0.2},
+			func(m *Model) { m.MeanAngleRad = 0.4 }},
+		"Fading": {Model{Type: ModelEq22}, func(m *Model) {
+			m.Fading, m.Params = FadingNakagamiM, &FadingParams{M: 2}
+		}},
+		"Params": {Model{Type: ModelEq22, Fading: FadingNakagamiM, Params: &FadingParams{M: 2}},
+			func(m *Model) { m.Params = &FadingParams{M: 3} }},
+	}
+	paramCases := map[string]coverage{
+		"KFactor": {Model{Type: ModelEq22, Fading: FadingRician, Params: &FadingParams{KFactor: 2}},
+			func(m *Model) { m.Params = &FadingParams{KFactor: 3} }},
+		"LOSPhaseRad": {Model{Type: ModelEq22, Fading: FadingRician, Params: &FadingParams{KFactor: 2}},
+			func(m *Model) { m.Params = &FadingParams{KFactor: 2, LOSPhaseRad: 0.5} }},
+		"M": {Model{Type: ModelEq22, Fading: FadingNakagamiM, Params: &FadingParams{M: 2}},
+			func(m *Model) { m.Params = &FadingParams{M: 2.5} }},
+		"ShadowSigmaDB": {Model{Type: ModelEq22, Fading: FadingSuzuki, Params: &FadingParams{ShadowSigmaDB: 4}},
+			func(m *Model) { m.Params = &FadingParams{ShadowSigmaDB: 6} }},
+		"ShadowCoherence": {Model{Type: ModelEq22, Fading: FadingSuzuki, Params: &FadingParams{ShadowSigmaDB: 4}},
+			func(m *Model) { m.Params = &FadingParams{ShadowSigmaDB: 4, ShadowCoherence: 64} }},
+		"Segments": {Model{Type: ModelEq22, Fading: FadingNonstationaryDoppler,
+			Params: &FadingParams{Segments: []DopplerSegment{{Blocks: 2, NormalizedDoppler: 0.05}}}},
+			func(m *Model) {
+				m.Params = &FadingParams{Segments: []DopplerSegment{{Blocks: 3, NormalizedDoppler: 0.05}}}
+			}},
+	}
+	check := func(structName string, typ reflect.Type, cases map[string]coverage) {
+		t.Helper()
+		for i := 0; i < typ.NumField(); i++ {
+			name := typ.Field(i).Name
+			cov, ok := cases[name]
+			if !ok {
+				t.Errorf("%s.%s has no canonical-coverage entry: extend Canonical and this table", structName, name)
+				continue
+			}
+			if err := cov.base.Validate(); err != nil {
+				t.Errorf("%s.%s: base model invalid: %v", structName, name, err)
+				continue
+			}
+			before := cov.base.Canonical()
+			mutated := cov.base
+			cov.mutate(&mutated)
+			if err := mutated.Validate(); err != nil {
+				t.Errorf("%s.%s: mutated model invalid: %v", structName, name, err)
+				continue
+			}
+			if bytes.Equal(before, mutated.Canonical()) {
+				t.Errorf("%s.%s is dropped from the canonical encoding: %s", structName, name, before)
+			}
+		}
+		for name := range cases {
+			if _, ok := typ.FieldByName(name); !ok {
+				t.Errorf("coverage table names unknown field %s.%s", structName, name)
+			}
+		}
+	}
+	check("Model", reflect.TypeOf(Model{}), modelCases)
+	check("FadingParams", reflect.TypeOf(FadingParams{}), paramCases)
+	// DopplerSegment rides inside Segments; audit its fields too.
+	segBase := Model{Type: ModelEq22, Fading: FadingNonstationaryDoppler,
+		Params: &FadingParams{Segments: []DopplerSegment{{Blocks: 2, NormalizedDoppler: 0.05}}}}
+	segCases := map[string]coverage{
+		"Blocks": {segBase, func(m *Model) {
+			m.Params = &FadingParams{Segments: []DopplerSegment{{Blocks: 4, NormalizedDoppler: 0.05}}}
+		}},
+		"NormalizedDoppler": {segBase, func(m *Model) {
+			m.Params = &FadingParams{Segments: []DopplerSegment{{Blocks: 2, NormalizedDoppler: 0.1}}}
+		}},
+	}
+	check("DopplerSegment", reflect.TypeOf(DopplerSegment{}), segCases)
+}

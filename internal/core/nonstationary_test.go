@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/doppler"
+)
+
+func newSegmentedGenerator(t testing.TB, seed int64, m int, segs []DopplerSegment, tr Transform) *RealTimeGenerator {
+	t.Helper()
+	g, err := NewRealTimeGenerator(RealTimeConfig{
+		Covariance:      eq22Covariance(),
+		Filter:          doppler.FilterSpec{M: m},
+		Seed:            seed,
+		DopplerSegments: segs,
+		Transform:       tr,
+	})
+	if err != nil {
+		t.Fatalf("NewRealTimeGenerator: %v", err)
+	}
+	return g
+}
+
+var testTrajectory = []DopplerSegment{
+	{Blocks: 3, NormalizedDoppler: 0.02},
+	{Blocks: 3, NormalizedDoppler: 0.1},
+}
+
+func TestNonstationaryValidation(t *testing.T) {
+	bad := []RealTimeConfig{
+		{Covariance: eq22Covariance(), Filter: doppler.FilterSpec{M: 512, NormalizedDoppler: 0.05},
+			DopplerSegments: testTrajectory}, // conflicting top-level Doppler
+		{Covariance: eq22Covariance(), Filter: doppler.FilterSpec{M: 512},
+			DopplerSegments: []DopplerSegment{{Blocks: 0, NormalizedDoppler: 0.05}}},
+		{Covariance: eq22Covariance(), Filter: doppler.FilterSpec{M: 512},
+			DopplerSegments: []DopplerSegment{{Blocks: 2, NormalizedDoppler: 0.7}}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewRealTimeGenerator(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestNonstationarySegmentVariance pins the per-segment σ²_g: blocks in
+// different trajectory legs carry their own Eq. (19) variance, and the
+// sequential path walks the trajectory in block order.
+func TestNonstationarySegmentVariance(t *testing.T) {
+	g := newSegmentedGenerator(t, 31, 512, testTrajectory, nil)
+	want0 := g.segments[0].sigmaG2
+	want1 := g.segments[1].sigmaG2
+	if want0 == want1 {
+		t.Fatalf("distinct Doppler segments share σ²_g = %g", want0)
+	}
+	if g.SampleVariance() != want0 {
+		t.Fatalf("SampleVariance() = %g, want segment 0's %g", g.SampleVariance(), want0)
+	}
+	for k := 0; k < 8; k++ {
+		b := g.GenerateBlock()
+		want := want0
+		if k >= 3 {
+			want = want1 // the last segment persists past the trajectory
+		}
+		if b.SampleVariance != want {
+			t.Errorf("block %d SampleVariance = %g, want %g", k, b.SampleVariance, want)
+		}
+	}
+	if a, b := g.TheoreticalAutocorrelationAt(0, 5), g.TheoreticalAutocorrelationAt(5, 5); a == b {
+		t.Errorf("autocorrelation identical across segments: %g", a)
+	}
+}
+
+// TestNonstationaryWorkerAndResumeIdentity is the determinism contract for
+// the trajectory model: every worker count produces identical bytes, and
+// random access reproduces any position, including across the segment seam.
+func TestNonstationaryWorkerAndResumeIdentity(t *testing.T) {
+	const count = 8
+	var runs [][]*Block
+	for _, workers := range []int{1, 2, 5} {
+		g := newSegmentedGenerator(t, 77, 512, testTrajectory, nil)
+		dst := make([]*Block, count)
+		for i := range dst {
+			dst[i] = NewBlock(g.N(), g.BlockLength())
+		}
+		if err := g.GenerateBlocksInto(dst, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		runs = append(runs, dst)
+	}
+	for r := 1; r < len(runs); r++ {
+		for i := range runs[0] {
+			blocksEqual(t, "nonstationary worker invariance", runs[0][i], runs[r][i])
+		}
+	}
+	// Random access at every position, from a fresh generator.
+	g := newSegmentedGenerator(t, 77, 512, testTrajectory, nil)
+	s, err := g.NewBlockScratch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBlock(g.N(), g.BlockLength())
+	for _, idx := range []uint64{5, 0, 3, 7, 2} { // out of order on purpose
+		if err := g.GenerateBlockAt(idx, b, s); err != nil {
+			t.Fatalf("GenerateBlockAt(%d): %v", idx, err)
+		}
+		blocksEqual(t, "nonstationary random access", runs[0][idx], b)
+		if b.SampleVariance != runs[0][idx].SampleVariance {
+			t.Fatalf("block %d SampleVariance %g vs %g", idx, b.SampleVariance, runs[0][idx].SampleVariance)
+		}
+	}
+	// Split batches resume the same sequence across the segment seam.
+	g2 := newSegmentedGenerator(t, 77, 512, testTrajectory, nil)
+	head := make([]*Block, 2)
+	tail := make([]*Block, count-2)
+	for i := range head {
+		head[i] = NewBlock(g2.N(), g2.BlockLength())
+	}
+	for i := range tail {
+		tail[i] = NewBlock(g2.N(), g2.BlockLength())
+	}
+	if err := g2.GenerateBlocksInto(head, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.GenerateBlocksInto(tail, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range head {
+		blocksEqual(t, "nonstationary resume head", runs[0][i], head[i])
+	}
+	for i := range tail {
+		blocksEqual(t, "nonstationary resume tail", runs[0][i+2], tail[i])
+	}
+}
+
+// offsetTransform marks every sample with its global offset so the tests can
+// verify each path hands the transform the right block index.
+type offsetTransform struct{ m int }
+
+func (o offsetTransform) Apply(env int, offset uint64, z []complex128, r []float64) {
+	for i := range z {
+		gain := 1 + float64(offset+uint64(i))/float64(o.m*1000)
+		z[i] = complex(real(z[i])*gain, imag(z[i])*gain)
+		re, im := real(z[i]), imag(z[i])
+		r[i] = math.Sqrt(re*re + im*im)
+	}
+}
+
+// TestTransformOffsetsConsistentAcrossPaths checks the sequential, batched,
+// worker-pooled and random-access paths all pass the same global sample
+// offsets to the fading transform.
+func TestTransformOffsetsConsistentAcrossPaths(t *testing.T) {
+	const count = 6
+	const m = 512
+	tr := offsetTransform{m: m}
+	mk := func() *RealTimeGenerator {
+		g, err := NewRealTimeGenerator(RealTimeConfig{
+			Covariance: eq22Covariance(),
+			Filter:     doppler.FilterSpec{M: m, NormalizedDoppler: 0.05},
+			Seed:       13,
+			Transform:  tr,
+		})
+		if err != nil {
+			t.Fatalf("NewRealTimeGenerator: %v", err)
+		}
+		return g
+	}
+	gSeq := mk()
+	gPar := mk()
+	seq := make([]*Block, count)
+	par := make([]*Block, count)
+	for i := range seq {
+		seq[i] = NewBlock(gSeq.N(), m)
+		par[i] = NewBlock(gPar.N(), m)
+	}
+	if err := gSeq.GenerateBlocksInto(seq, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := gPar.GenerateBlocksInto(par, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		blocksEqual(t, "transform worker invariance", seq[i], par[i])
+	}
+	gAt := mk()
+	s, err := gAt.NewBlockScratch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBlock(gAt.N(), m)
+	for _, idx := range []uint64{4, 1, 0} {
+		if err := gAt.GenerateBlockAt(idx, b, s); err != nil {
+			t.Fatal(err)
+		}
+		blocksEqual(t, "transform random access", seq[idx], b)
+	}
+	// Envelopes reflect the transformed samples.
+	for j := range seq[0].Gaussian {
+		for l, v := range seq[0].Gaussian[j] {
+			if got := seq[0].Envelopes[j][l]; math.Abs(got-envAbs(v)) > 1e-12 {
+				t.Fatalf("envelope (%d,%d) = %g, want |z| = %g", j, l, got, envAbs(v))
+			}
+		}
+	}
+}

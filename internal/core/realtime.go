@@ -10,6 +10,26 @@ import (
 	"repro/internal/randx"
 )
 
+// Transform post-processes one envelope row of colored complex-Gaussian
+// samples in place, mapping the correlated Rayleigh fading line to another
+// envelope distribution (Rician, Nakagami-m, Suzuki — see internal/fading).
+// env is the row index, offset the global index of the row's first sample;
+// on return z holds the transformed samples and r their envelopes (r is
+// written, never read). Implementations must be stateless after construction
+// and safe for concurrent use: the parallel block workers share one value.
+type Transform interface {
+	Apply(env int, offset uint64, z []complex128, r []float64)
+}
+
+// DopplerSegment is one leg of a nonstationary-Doppler velocity trajectory:
+// Blocks consecutive blocks generated with the given normalized maximum
+// Doppler shift. The final segment persists for every block past the end of
+// the trajectory.
+type DopplerSegment struct {
+	Blocks            int
+	NormalizedDoppler float64
+}
+
 // RealTimeConfig configures the real-time correlated generator of Section 5
 // (Fig. 3): N Young–Beaulieu Doppler generators feed the coloring step, so
 // every envelope carries the Jakes autocorrelation J0(2π·fm·d) while the
@@ -19,7 +39,9 @@ type RealTimeConfig struct {
 	// processes.
 	Covariance *cmplxmat.Matrix
 	// Filter is the Doppler filter specification shared by the N generators
-	// (IDFT length M and normalized Doppler fm).
+	// (IDFT length M and normalized Doppler fm). With DopplerSegments set,
+	// only M is read and NormalizedDoppler must be zero (each segment brings
+	// its own).
 	Filter doppler.FilterSpec
 	// InputVariance is σ²_orig, the variance of the real Gaussian sequences
 	// feeding each Doppler filter. Zero selects the paper's 1/2.
@@ -39,6 +61,19 @@ type RealTimeConfig struct {
 	// real-time streams reuse the whole batched engine, including random
 	// access and worker-count invariance.
 	Coloring *cmplxmat.Matrix
+	// Transform, when non-nil, post-processes every generated row (the
+	// channel-model zoo's Rician/Nakagami/Suzuki sample transforms). It is
+	// applied inside the block fill, so every path — sequential, batched,
+	// random-access, worker-pooled — produces identical transformed output.
+	Transform Transform
+	// DopplerSegments, when non-empty, replaces the single Doppler design
+	// with a piecewise trajectory: block k is generated with the Doppler
+	// panel of the segment covering k (the last segment persists past the
+	// trajectory end). Only the Doppler generators and the σ_g scaling
+	// change per segment; the per-block random streams are unchanged, so
+	// GenerateBlockAt stays O(1) and byte-identical across resume points
+	// and worker counts.
+	DopplerSegments []DopplerSegment
 }
 
 // Block is one real-time generation block of M consecutive time samples for
@@ -49,7 +84,8 @@ type Block struct {
 	// Envelopes[j][l] is r_j = |z_j| at discrete time l.
 	Envelopes [][]float64
 	// SampleVariance is the σ²_g used in the whitening step: the Eq. (19)
-	// value, or 1 when AssumeUnitVariance was set.
+	// value of the block's Doppler segment, or 1 when AssumeUnitVariance was
+	// set.
 	SampleVariance float64
 }
 
@@ -88,19 +124,31 @@ func (b *Block) ensureShape(n, m int) {
 	}
 }
 
+// rtSegment is one leg of the (possibly trivial) Doppler trajectory: the
+// block range it covers, its N Doppler generators, and the coloring matrix
+// rescaled to its Eq. (19) output variance. A stationary generator has
+// exactly one segment starting at block 0.
+type rtSegment struct {
+	start    uint64 // first block index covered
+	spec     doppler.FilterSpec
+	gens     []*doppler.Generator
+	coloring *cmplxmat.Matrix // L/σ_g of this segment
+	sigmaG2  float64
+}
+
 // BlockScratch is the per-worker workspace of the parallel block fan-out and
 // of random-access block generation: the N×M input and output panels of the
-// coloring GEMM, the worker's Doppler generators, and a reusable set of
-// per-envelope RNGs reseeded for every block. For power-of-two M the
-// generators are the generator-shared set (read-only after construction, so
-// concurrent BlockInto calls are safe); for other lengths each worker gets
-// private generators because the Bluestein IDFT plan owns convolution
-// scratch.
+// coloring GEMM, the worker's Doppler generators (one set per trajectory
+// segment), and a reusable set of per-envelope RNGs reseeded for every
+// block. For power-of-two M the generators are the generator-shared sets
+// (read-only after construction, so concurrent BlockInto calls are safe);
+// for other lengths each worker gets private generators because the
+// Bluestein IDFT plan owns convolution scratch.
 type BlockScratch struct {
-	w, z *cmplxmat.Matrix
-	gens []*doppler.Generator
-	root *randx.RNG
-	rngs []*randx.RNG
+	w, z    *cmplxmat.Matrix
+	segGens [][]*doppler.Generator // indexed like RealTimeGenerator.segments
+	root    *randx.RNG
+	rngs    []*randx.RNG
 }
 
 // RealTimeGenerator implements the combined algorithm of Section 5. The
@@ -108,9 +156,9 @@ type BlockScratch struct {
 // into the rows of an N×M panel and colors all M time instants with a single
 // cache-blocked matrix-matrix product.
 type RealTimeGenerator struct {
-	snapshot   *SnapshotGenerator
-	generators []*doppler.Generator
-	rngs       []*randx.RNG
+	snapshot *SnapshotGenerator
+	segments []rtSegment
+	rngs     []*randx.RNG
 	// batchRoot is the frozen root of the per-block stream sets: block i of
 	// the batched/random-access paths draws from batchRoot.SplitAt(i). It is
 	// never advanced, so GenerateBlockAt stays a pure function of the seed
@@ -120,11 +168,15 @@ type RealTimeGenerator struct {
 	// produce, so consecutive batched calls continue one deterministic block
 	// sequence.
 	batchNext uint64
+	// seqNext is the index of the next block of the sequential
+	// GenerateBlock path; it selects the Doppler segment and the transform
+	// offset of that path.
+	seqNext   uint64
 	n         int
 	m         int
 	sigmaG2   float64
-	spec      doppler.FilterSpec
 	inputVar  float64
+	transform Transform
 	w, z      *cmplxmat.Matrix // sequential-path GEMM panels
 	scratches []*BlockScratch  // cached worker workspaces (GenerateBlocksInto)
 }
@@ -146,21 +198,47 @@ func NewRealTimeGenerator(cfg RealTimeConfig) (*RealTimeGenerator, error) {
 		return nil, fmt.Errorf("core: negative Doppler input variance %g: %w", inputVar, ErrBadInput)
 	}
 
-	generators := make([]*doppler.Generator, n)
+	// Resolve the Doppler trajectory: one stationary segment from Filter, or
+	// one segment per DopplerSegments entry (Filter then contributes only M).
+	specs := []doppler.FilterSpec{cfg.Filter}
+	starts := []uint64{0}
+	if len(cfg.DopplerSegments) > 0 {
+		if cfg.Filter.NormalizedDoppler != 0 {
+			return nil, fmt.Errorf("core: both Filter.NormalizedDoppler and DopplerSegments set: %w", ErrBadInput)
+		}
+		specs = specs[:0]
+		starts = starts[:0]
+		var start uint64
+		for i, seg := range cfg.DopplerSegments {
+			if seg.Blocks <= 0 {
+				return nil, fmt.Errorf("core: Doppler segment %d needs blocks > 0, got %d: %w", i, seg.Blocks, ErrBadInput)
+			}
+			specs = append(specs, doppler.FilterSpec{M: cfg.Filter.M, NormalizedDoppler: seg.NormalizedDoppler})
+			starts = append(starts, start)
+			start += uint64(seg.Blocks)
+		}
+	}
+
+	// Segment 0 first, with the RNG splits interleaved exactly as the
+	// stationary generator always made them (generator j, then split j), so
+	// stationary output is unchanged and segmented output shares its stream
+	// layout. Doppler generator construction consumes no randomness.
+	segments := make([]rtSegment, len(specs))
 	root := randx.New(cfg.Seed)
 	rngs := make([]*randx.RNG, n)
+	gens0 := make([]*doppler.Generator, n)
 	for j := 0; j < n; j++ {
-		g, err := doppler.NewGenerator(cfg.Filter, inputVar)
+		g, err := doppler.NewGenerator(specs[0], inputVar)
 		if err != nil {
 			return nil, fmt.Errorf("core: Doppler generator %d: %w", j, err)
 		}
-		generators[j] = g
+		gens0[j] = g
 		rngs[j] = root.Split()
 	}
 
-	// Step 6 of the combined algorithm: σ²_g from Eq. (19), identical for all
-	// N generators because they share the same filter and input variance.
-	sigmaG2 := generators[0].OutputVariance()
+	// Step 6 of the combined algorithm: σ²_g from Eq. (19), identical within
+	// a segment because its N generators share one filter and input variance.
+	sigmaG2 := gens0[0].OutputVariance()
 	if cfg.AssumeUnitVariance {
 		sigmaG2 = 1
 	}
@@ -174,19 +252,41 @@ func NewRealTimeGenerator(cfg RealTimeConfig) (*RealTimeGenerator, error) {
 	if err != nil {
 		return nil, err
 	}
+	batchRoot := root.Split()
+	segments[0] = rtSegment{start: starts[0], spec: specs[0], gens: gens0, coloring: snap.coloring, sigmaG2: sigmaG2}
+	for si := 1; si < len(specs); si++ {
+		gens := make([]*doppler.Generator, n)
+		for j := 0; j < n; j++ {
+			g, err := doppler.NewGenerator(specs[si], inputVar)
+			if err != nil {
+				return nil, fmt.Errorf("core: Doppler segment %d generator %d: %w", si, j, err)
+			}
+			gens[j] = g
+		}
+		segSigma := gens[0].OutputVariance()
+		if cfg.AssumeUnitVariance {
+			segSigma = 1
+		}
+		coloring, err := ScaleColoring(snap.rawL, segSigma)
+		if err != nil {
+			return nil, err
+		}
+		segments[si] = rtSegment{start: starts[si], spec: specs[si], gens: gens, coloring: coloring, sigmaG2: segSigma}
+	}
+
 	m := cfg.Filter.M
 	return &RealTimeGenerator{
-		snapshot:   snap,
-		generators: generators,
-		rngs:       rngs,
-		batchRoot:  root.Split(),
-		n:          n,
-		m:          m,
-		sigmaG2:    sigmaG2,
-		spec:       cfg.Filter,
-		inputVar:   inputVar,
-		w:          cmplxmat.New(n, m),
-		z:          cmplxmat.New(n, m),
+		snapshot:  snap,
+		segments:  segments,
+		rngs:      rngs,
+		batchRoot: batchRoot,
+		n:         n,
+		m:         m,
+		sigmaG2:   sigmaG2,
+		inputVar:  inputVar,
+		transform: cfg.Transform,
+		w:         cmplxmat.New(n, m),
+		z:         cmplxmat.New(n, m),
 	}, nil
 }
 
@@ -196,16 +296,36 @@ func (g *RealTimeGenerator) N() int { return g.n }
 // BlockLength returns the number of time samples per block (the IDFT length).
 func (g *RealTimeGenerator) BlockLength() int { return g.m }
 
-// SampleVariance returns the σ²_g used in the whitening step.
+// SampleVariance returns the σ²_g used in the whitening step (of the first
+// trajectory segment when the Doppler is nonstationary).
 func (g *RealTimeGenerator) SampleVariance() float64 { return g.sigmaG2 }
 
 // Diagnostics returns the positive semi-definiteness forcing record.
 func (g *RealTimeGenerator) Diagnostics() *ForcedPSD { return g.snapshot.Diagnostics() }
 
+// segmentIndexAt returns the index of the trajectory segment covering the
+// given block; the final segment persists past the trajectory end.
+func (g *RealTimeGenerator) segmentIndexAt(block uint64) int {
+	for i := len(g.segments) - 1; i > 0; i-- {
+		if block >= g.segments[i].start {
+			return i
+		}
+	}
+	return 0
+}
+
 // TheoreticalAutocorrelation returns the designed per-envelope normalized
-// autocorrelation at the given lag, J0(2π·fm·d).
+// autocorrelation at the given lag, J0(2π·fm·d), for the first trajectory
+// segment. TheoreticalAutocorrelationAt resolves the segment by block index.
 func (g *RealTimeGenerator) TheoreticalAutocorrelation(lag int) float64 {
-	return doppler.TheoreticalAutocorrelation(g.generators[0].Spec().NormalizedDoppler, lag)
+	return doppler.TheoreticalAutocorrelation(g.segments[0].spec.NormalizedDoppler, lag)
+}
+
+// TheoreticalAutocorrelationAt returns the designed normalized
+// autocorrelation at the given lag for the Doppler segment covering the
+// given block index.
+func (g *RealTimeGenerator) TheoreticalAutocorrelationAt(block uint64, lag int) float64 {
+	return doppler.TheoreticalAutocorrelation(g.segments[g.segmentIndexAt(block)].spec.NormalizedDoppler, lag)
 }
 
 // GenerateBlock produces one block: each of the N Doppler generators emits M
@@ -214,7 +334,8 @@ func (g *RealTimeGenerator) TheoreticalAutocorrelation(lag int) float64 {
 // the block).
 func (g *RealTimeGenerator) GenerateBlock() *Block {
 	b := NewBlock(g.n, g.m)
-	g.fillBlock(g.generators, g.rngs, g.w, g.z, b)
+	// GenerateBlockInto cannot fail on a freshly shaped block.
+	_ = g.GenerateBlockInto(b)
 	return b
 }
 
@@ -228,31 +349,42 @@ func (g *RealTimeGenerator) GenerateBlockInto(b *Block) error {
 		return fmt.Errorf("core: nil destination block: %w", ErrBadInput)
 	}
 	b.ensureShape(g.n, g.m)
-	g.fillBlock(g.generators, g.rngs, g.w, g.z, b)
+	seg := &g.segments[g.segmentIndexAt(g.seqNext)]
+	g.fillBlock(seg.gens, seg, g.rngs, g.w, g.z, b, g.seqNext)
+	g.seqNext++
 	return nil
 }
 
 // fillBlock is the batched hot path: Doppler rows into w, one ColorBlock GEMM
 // into z, then a single fused pass that stores the colored samples and their
-// envelopes. The envelope is computed once per sample, straight from the
-// colored value.
-func (g *RealTimeGenerator) fillBlock(gens []*doppler.Generator, rngs []*randx.RNG, w, z *cmplxmat.Matrix, b *Block) {
+// envelopes (the envelope is computed once per sample, straight from the
+// colored value). With a fading transform configured, the pass instead copies
+// the row and hands it to the transform, which rewrites samples and envelopes
+// in place; index is the block's position in its sequence, giving the
+// transform its global sample offset.
+func (g *RealTimeGenerator) fillBlock(gens []*doppler.Generator, seg *rtSegment, rngs []*randx.RNG, w, z *cmplxmat.Matrix, b *Block, index uint64) {
 	for j := 0; j < g.n; j++ {
 		// Row length equals the generator's M by construction.
 		_ = gens[j].BlockInto(rngs[j], w.RowView(j))
 	}
 	// Dimensions are fixed at construction, so ColorBlock cannot fail.
-	_ = cmplxmat.ColorBlock(g.snapshot.coloring, w, z)
+	_ = cmplxmat.ColorBlock(seg.coloring, w, z)
+	offset := index * uint64(g.m)
 	for j := 0; j < g.n; j++ {
 		zr := z.RowView(j)
 		gj := b.Gaussian[j]
 		ej := b.Envelopes[j]
+		if g.transform != nil {
+			copy(gj, zr)
+			g.transform.Apply(j, offset, gj, ej)
+			continue
+		}
 		for l, v := range zr {
 			gj[l] = v
 			ej[l] = envAbs(v)
 		}
 	}
-	b.SampleVariance = g.sigmaG2
+	b.SampleVariance = seg.sigmaG2
 }
 
 // GenerateBlocks produces count consecutive blocks from the generator's
@@ -271,29 +403,34 @@ func (g *RealTimeGenerator) GenerateBlocks(count int) ([]*Block, error) {
 
 // NewBlockScratch builds a worker workspace for GenerateBlocksInto.
 func (g *RealTimeGenerator) NewBlockScratch() (*BlockScratch, error) {
-	gens := g.generators
-	if g.m&(g.m-1) != 0 {
+	segGens := make([][]*doppler.Generator, len(g.segments))
+	for si := range g.segments {
+		if g.m&(g.m-1) == 0 {
+			segGens[si] = g.segments[si].gens
+			continue
+		}
 		// Non-power-of-two M: the Bluestein scratch inside each generator's
 		// IDFT plan is not safe to share across workers.
-		gens = make([]*doppler.Generator, g.n)
+		gens := make([]*doppler.Generator, g.n)
 		for j := range gens {
-			dg, err := doppler.NewGenerator(g.spec, g.inputVar)
+			dg, err := doppler.NewGenerator(g.segments[si].spec, g.inputVar)
 			if err != nil {
 				return nil, fmt.Errorf("core: Doppler generator %d: %w", j, err)
 			}
 			gens[j] = dg
 		}
+		segGens[si] = gens
 	}
 	rngs := make([]*randx.RNG, g.n)
 	for j := range rngs {
 		rngs[j] = randx.New(0)
 	}
 	return &BlockScratch{
-		w:    cmplxmat.New(g.n, g.m),
-		z:    cmplxmat.New(g.n, g.m),
-		gens: gens,
-		root: randx.New(0),
-		rngs: rngs,
+		w:       cmplxmat.New(g.n, g.m),
+		z:       cmplxmat.New(g.n, g.m),
+		segGens: segGens,
+		root:    randx.New(0),
+		rngs:    rngs,
 	}, nil
 }
 
@@ -302,7 +439,9 @@ func (g *RealTimeGenerator) NewBlockScratch() (*BlockScratch, error) {
 // GenerateBlocksInto would place at position index of a from-construction
 // run, regardless of call order, batch sizes or worker counts. Random access
 // is what makes streams resumable — serving block k to a resuming client is
-// bit-identical to having streamed from 0.
+// bit-identical to having streamed from 0. The block's Doppler segment and
+// fading-transform offset are derived from index, so the contract holds for
+// every model of the zoo, including nonstationary trajectories.
 //
 // The call reads only construction-time generator state, so concurrent
 // GenerateBlockAt calls with distinct b and s are safe (any M; non-power-of-
@@ -321,7 +460,8 @@ func (g *RealTimeGenerator) GenerateBlockAt(index uint64, b *Block, s *BlockScra
 		r.Reseed(s.root.SplitSeed())
 	}
 	b.ensureShape(g.n, g.m)
-	g.fillBlock(s.gens, s.rngs, s.w, s.z, b)
+	si := g.segmentIndexAt(index)
+	g.fillBlock(s.segGens[si], &g.segments[si], s.rngs, s.w, s.z, b, index)
 	return nil
 }
 
@@ -357,14 +497,15 @@ func (g *RealTimeGenerator) GenerateBlocksInto(dst []*Block, workers int) error 
 		}
 		blockRngs[i] = rs
 	}
+	base := g.batchNext
 	g.batchNext += uint64(len(dst))
-	if workers > len(dst) {
-		workers = len(dst)
-	}
+	workers = min(workers, len(dst))
 	if workers <= 1 {
 		for i, b := range dst {
 			b.ensureShape(g.n, g.m)
-			g.fillBlock(g.generators, blockRngs[i], g.w, g.z, b)
+			idx := base + uint64(i)
+			seg := &g.segments[g.segmentIndexAt(idx)]
+			g.fillBlock(seg.gens, seg, blockRngs[i], g.w, g.z, b, idx)
 		}
 		return nil
 	}
@@ -391,7 +532,9 @@ func (g *RealTimeGenerator) GenerateBlocksInto(dst []*Block, workers int) error 
 					return
 				}
 				dst[i].ensureShape(g.n, g.m)
-				g.fillBlock(s.gens, blockRngs[i], s.w, s.z, dst[i])
+				idx := base + uint64(i)
+				si := g.segmentIndexAt(idx)
+				g.fillBlock(s.segGens[si], &g.segments[si], blockRngs[i], s.w, s.z, dst[i], idx)
 			}
 		}(scratches[wk])
 	}

@@ -1,0 +1,57 @@
+// Package fading implements the channel-model zoo on top of the correlated
+// complex-Gaussian engine: per-sample envelope transforms that turn the
+// paper's correlated Rayleigh fading into Rician, Nakagami-m or Suzuki
+// fading while preserving the engine's determinism contract. Every transform
+// is a pure function of (seed, envelope index, global sample index, sample
+// value) and holds no mutable state, so it can be shared by concurrent block
+// workers and applied at any random-access position — block streams stay
+// byte-identical across worker counts and resume points.
+//
+// The nonstationary-Doppler model is not a sample transform (it replans the
+// Doppler panel per trajectory segment) and lives in internal/core; see
+// docs/models.md for the full catalog.
+package fading
+
+import (
+	"fmt"
+
+	"repro/internal/chanspec"
+)
+
+// Transform maps one envelope row of colored complex-Gaussian samples in
+// place. env is the envelope (row) index; offset is the global index of the
+// first sample of z, so implementations can derive sample-indexed randomness
+// (Suzuki shadowing) without carrying state. On return z holds the
+// transformed complex samples and r their envelopes |z'| (r is written, never
+// read). Implementations are stateless after construction and safe for
+// concurrent use.
+type Transform interface {
+	Apply(env int, offset uint64, z []complex128, r []float64)
+}
+
+// New builds the sample transform for the given fading model. powers is the
+// target covariance diagonal Ω_j = E|z_j|² (the scattered mean power each
+// transform preserves or modulates); seed is the spec seed the Suzuki
+// shadowing knots derive from. Rayleigh — and nonstationary Doppler, which
+// transforms the Doppler panel rather than the samples — return a nil
+// Transform.
+func New(model string, params *chanspec.FadingParams, powers []float64, seed int64) (Transform, error) {
+	if err := chanspec.ValidateFading(model, params); err != nil {
+		return nil, err
+	}
+	switch chanspec.NormalizeFading(model) {
+	case chanspec.FadingRayleigh, chanspec.FadingNonstationaryDoppler:
+		return nil, nil
+	case chanspec.FadingRician:
+		return newRician(params.KFactor, params.LOSPhaseRad, powers), nil
+	case chanspec.FadingNakagamiM:
+		return newNakagami(params.M, powers), nil
+	case chanspec.FadingSuzuki:
+		coherence := params.ShadowCoherence
+		if coherence == 0 {
+			coherence = chanspec.DefaultShadowCoherence
+		}
+		return newSuzuki(params.ShadowSigmaDB, coherence, seed), nil
+	}
+	return nil, fmt.Errorf("fading: unhandled model %q: %w", model, chanspec.ErrBadSpec)
+}

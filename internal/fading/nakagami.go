@@ -1,0 +1,57 @@
+package fading
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// nakagami maps each Rayleigh envelope onto a Nakagami-m envelope of the same
+// mean power Ω_j through the exact probability-integral transform:
+//
+//	u  = 1 − exp(−|z_j|²/Ω_j)            (Rayleigh envelope CDF, uniform)
+//	G  = P⁻¹(m, u)                       (Gamma(m, 1) quantile)
+//	r' = sqrt(G·Ω_j/m)                   (Nakagami-m envelope, E[r'²] = Ω_j)
+//	z' = z_j·(r'/|z_j|)                  (phase preserved)
+//
+// The map is monotone in the envelope, so the rank correlation structure of
+// the correlated Rayleigh field carries over; m = 1 is the identity up to
+// round-off.
+type nakagami struct {
+	m          float64
+	invOmega   []float64 // 1/Ω_j
+	omegaOverM []float64 // Ω_j/m
+}
+
+func newNakagami(m float64, powers []float64) *nakagami {
+	t := &nakagami{
+		m:          m,
+		invOmega:   make([]float64, len(powers)),
+		omegaOverM: make([]float64, len(powers)),
+	}
+	for j, p := range powers {
+		t.invOmega[j] = 1 / p
+		t.omegaOverM[j] = p / m
+	}
+	return t
+}
+
+func (t *nakagami) Apply(env int, _ uint64, z []complex128, r []float64) {
+	invOmega := t.invOmega[env]
+	omegaOverM := t.omegaOverM[env]
+	for i, v := range z {
+		re, im := real(v), imag(v)
+		p2 := (re*re + im*im) * invOmega
+		if p2 == 0 {
+			z[i] = 0
+			r[i] = 0
+			continue
+		}
+		u := -math.Expm1(-p2) // 1 − exp(−p2), exact near 0
+		g := stats.InverseRegularizedGammaP(t.m, u)
+		rn := math.Sqrt(g * omegaOverM)
+		sc := rn / math.Sqrt((re*re + im*im))
+		z[i] = complex(re*sc, im*sc)
+		r[i] = rn
+	}
+}

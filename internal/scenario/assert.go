@@ -42,6 +42,14 @@ func evaluate(a *AssertionSpec, data *runData) (GateResult, error) {
 		checks, err = evalParallelIdentity(a, data)
 	case AssertComparison:
 		checks, err = evalComparison(a, data)
+	case AssertRicianK:
+		checks, err = evalRicianK(a, data)
+	case AssertNakagamiKS:
+		checks, err = evalNakagamiKS(a, data)
+	case AssertSuzukiLogMoment:
+		checks, err = evalSuzukiLogMoment(a, data)
+	case AssertSegmentAutocorrelation:
+		checks, err = evalSegmentAutocorrelation(a, data)
 	default:
 		err = fmt.Errorf("unknown assertion type %q: %w", a.Type, ErrBadSpec)
 	}
@@ -169,6 +177,110 @@ func evalAutocorrelation(a *AssertionSpec, data *runData) ([]Check, error) {
 		}
 	}
 	return []Check{check(fmt.Sprintf("worst acf deviation from J0 over lags 0..%d", maxLag), worst, a.Tolerance, "<=")}, nil
+}
+
+// evalRicianK estimates the Rician K-factor of one envelope by the moment
+// method: with μ = E[z] and P = E[|z|²] (both measured on the generated
+// composite samples), K̂ = |μ|²/(P − |μ|²). The LOS power |μ|² and scattered
+// power P − |μ|² are exact moments of the model, so the estimate converges to
+// params.k_factor.
+func evalRicianK(a *AssertionSpec, data *runData) ([]Check, error) {
+	want := data.spec.Model.Params.KFactor
+	mu := data.gmean[a.Envelope]
+	mu2 := real(mu)*real(mu) + imag(mu)*imag(mu)
+	power := real(data.cov.At(a.Envelope, a.Envelope)) // uncentered E[|z|²]
+	scattered := power - mu2
+	if scattered <= 0 {
+		return nil, fmt.Errorf("rician_k: degenerate scattered power %g: %w", scattered, ErrBadSpec)
+	}
+	kHat := mu2 / scattered
+	err := math.Abs(kHat - want)
+	name := "K estimate abs error"
+	if want > 0 {
+		err /= want
+		name = "K estimate relative error"
+	}
+	return []Check{check(name, err, a.Tolerance, "<=")}, nil
+}
+
+// evalNakagamiKS tests one envelope against the theoretical Nakagami-m
+// distribution of the model's shape and the envelope's Gaussian power Ω
+// (preserved by the probability-integral transform).
+func evalNakagamiKS(a *AssertionSpec, data *runData) ([]Check, error) {
+	dist := stats.NakagamiDist{M: data.spec.Model.Params.M, Omega: envelopePower(data, a.Envelope)}
+	_, pval, err := stats.KolmogorovSmirnov(data.env[a.Envelope], dist.CDF)
+	if err != nil {
+		return nil, err
+	}
+	return []Check{check("Nakagami KS p-value", pval, a.MinPValue, ">=")}, nil
+}
+
+// evalSuzukiLogMoment checks the log-envelope moments of the Suzuki
+// composition. For a Rayleigh envelope with E[r²] = Ω, 20·log10(r) has mean
+// (10/ln10)(ln Ω − γ) and variance (10/ln10)²·π²/6 ≈ 31.0249 dB²; the
+// zero-mean lognormal shadowing leaves the mean and adds σ_dB² to the
+// variance.
+func evalSuzukiLogMoment(a *AssertionSpec, data *runData) ([]Check, error) {
+	const eulerGamma = 0.5772156649015329
+	sigmaDB := data.spec.Model.Params.ShadowSigmaDB
+	omega := envelopePower(data, a.Envelope)
+	var logs []float64
+	for _, r := range data.env[a.Envelope] {
+		if r > 0 {
+			logs = append(logs, 20*math.Log10(r))
+		}
+	}
+	mean, err := stats.Mean(logs)
+	if err != nil {
+		return nil, err
+	}
+	variance, err := stats.Variance(logs)
+	if err != nil {
+		return nil, err
+	}
+	wantMean := 10 / math.Ln10 * (math.Log(omega) - eulerGamma)
+	wantVar := math.Pow(10/math.Ln10, 2)*math.Pi*math.Pi/6 + sigmaDB*sigmaDB
+	var checks []Check
+	if a.MeanTolerance > 0 {
+		checks = append(checks, check("log-envelope mean abs error (dB)",
+			math.Abs(mean-wantMean), a.MeanTolerance, "<="))
+	}
+	if a.VarianceTolerance > 0 {
+		checks = append(checks, check("log-envelope variance abs error (dB^2)",
+			math.Abs(variance-wantVar), a.VarianceTolerance, "<="))
+	}
+	return checks, nil
+}
+
+// evalSegmentAutocorrelation compares the per-segment averaged ACF of one
+// envelope against each trajectory segment's own Jakes model: one check per
+// segment the run actually visited.
+func evalSegmentAutocorrelation(a *AssertionSpec, data *runData) ([]Check, error) {
+	segments := trajectorySegments(data.spec)
+	acf := data.segACF[a.Envelope]
+	maxLag := assertMaxLag(a)
+	var checks []Check
+	for si, seg := range segments {
+		if si >= len(acf) || acf[si] == nil {
+			// The run was shorter than the trajectory; unvisited segments have
+			// no samples to gate.
+			continue
+		}
+		var worst float64
+		for d := 0; d <= maxLag; d++ {
+			want := doppler.TheoreticalAutocorrelation(seg.NormalizedDoppler, d)
+			if dev := math.Abs(acf[si][d] - want); dev > worst {
+				worst = dev
+			}
+		}
+		checks = append(checks, check(
+			fmt.Sprintf("segment %d (fm=%g): worst acf deviation from J0 over lags 0..%d", si, seg.NormalizedDoppler, maxLag),
+			worst, a.Tolerance, "<="))
+	}
+	if len(checks) == 0 {
+		return nil, fmt.Errorf("segment_autocorrelation: no trajectory segment was visited: %w", ErrBadSpec)
+	}
+	return checks, nil
 }
 
 func evalPSDForcing(a *AssertionSpec, data *runData) ([]Check, error) {
@@ -474,7 +586,8 @@ func envelopeOf(z complex128) float64 {
 // spec's backend, once per worker count.
 func batchPair(data *runData, units, workersA, workersB int) (a, b []core.Snapshot, err error) {
 	run := func(workers int) ([]core.Snapshot, error) {
-		gen, err := backend.New(data.spec.Generation.Method, data.target, data.spec.Seed)
+		gen, err := backend.NewWithFading(data.spec.Generation.Method, data.spec.Model.Fading,
+			data.spec.Model.Params, data.target, data.spec.Seed)
 		if err != nil {
 			return nil, err
 		}

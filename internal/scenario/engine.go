@@ -98,8 +98,10 @@ type runData struct {
 	forced     *core.ForcedPSD
 	cov        *cmplxmat.Matrix
 	env        map[int][]float64
-	acf        map[int][]float64 // averaged lagged autocorrelation per envelope
-	fm         float64           // normalized Doppler of the realtime run
+	acf        map[int][]float64   // averaged lagged autocorrelation per envelope
+	gmean      map[int]complex128  // complex sample mean per envelope (rician_k)
+	segACF     map[int][][]float64 // per envelope: per trajectory segment, averaged ACF
+	fm         float64             // normalized Doppler of the realtime run
 	samples    int
 	comparison []MethodOutcome // side-by-side rows accumulated by comparison gates
 }
@@ -130,6 +132,8 @@ func Run(spec *Spec) (*Result, error) {
 		forced: forced,
 		env:    map[int][]float64{},
 		acf:    map[int][]float64{},
+		gmean:  map[int]complex128{},
+		segACF: map[int][][]float64{},
 	}
 	switch spec.Generation.Mode {
 	case ModeSnapshot, ModeBatched:
@@ -203,12 +207,13 @@ func neededEnvelopes(spec *Spec, types ...string) []int {
 func collectSnapshots(data *runData) error {
 	spec := data.spec
 	draws := spec.Generation.Draws
-	gen, err := backend.New(spec.Generation.Method, data.target, spec.Seed)
+	gen, err := backend.NewWithFading(spec.Generation.Method, spec.Model.Fading, spec.Model.Params, data.target, spec.Seed)
 	if err != nil {
 		return err
 	}
 	n := data.target.Rows()
-	envIdx := neededEnvelopes(spec, AssertEnvelopeMoments, AssertRayleighKS, AssertRayleighChiSquare)
+	envIdx := neededEnvelopes(spec, AssertEnvelopeMoments, AssertRayleighKS, AssertRayleighChiSquare,
+		AssertNakagamiKS, AssertSuzukiLogMoment)
 	for _, j := range envIdx {
 		data.env[j] = make([]float64, 0, draws)
 	}
@@ -239,6 +244,13 @@ func collectSnapshots(data *runData) error {
 		}
 	}
 	data.samples = draws
+	for _, j := range neededEnvelopes(spec, AssertRicianK) {
+		var sum complex128
+		for i := range samples {
+			sum += samples[i][j]
+		}
+		data.gmean[j] = sum / complex(float64(draws), 0)
+	}
 	data.cov, err = stats.SampleCovariance(samples)
 	return err
 }
@@ -254,15 +266,18 @@ func collectRealtime(data *runData) error {
 	}
 	data.fm = realtimeDoppler(spec)
 	blocks := spec.Generation.Blocks
-	envIdx := neededEnvelopes(spec, AssertEnvelopeMoments, AssertRayleighKS, AssertRayleighChiSquare)
+	envIdx := neededEnvelopes(spec, AssertEnvelopeMoments, AssertRayleighKS, AssertRayleighChiSquare,
+		AssertNakagamiKS, AssertSuzukiLogMoment)
 	acfIdx := neededEnvelopes(spec, AssertAutocorrelation)
+	segIdx := neededEnvelopes(spec, AssertSegmentAutocorrelation)
 	maxLag := 0
 	for i := range spec.Assertions {
 		a := &spec.Assertions[i]
-		if a.Type == AssertAutocorrelation && assertMaxLag(a) > maxLag {
+		if (a.Type == AssertAutocorrelation || a.Type == AssertSegmentAutocorrelation) && assertMaxLag(a) > maxLag {
 			maxLag = assertMaxLag(a)
 		}
 	}
+	segments := trajectorySegments(spec)
 
 	n := data.target.Rows()
 	blks := make([]*core.Block, blocks)
@@ -283,7 +298,8 @@ func collectRealtime(data *runData) error {
 		}
 	}
 	series := make([][]complex128, n)
-	for _, blk := range blks {
+	segCount := make([]float64, len(segments))
+	for b, blk := range blks {
 		for j := 0; j < n; j++ {
 			series[j] = append(series[j], blk.Gaussian[j]...)
 		}
@@ -302,15 +318,60 @@ func collectRealtime(data *runData) error {
 				data.acf[j][d] += rho[d]
 			}
 		}
+		if len(segments) > 0 {
+			si := chanspec.SegmentIndexAt(segments, uint64(b))
+			segCount[si]++
+			for _, j := range segIdx {
+				rho, err := stats.LaggedAutocorrelation(blk.Gaussian[j], maxLag)
+				if err != nil {
+					return err
+				}
+				if data.segACF[j] == nil {
+					data.segACF[j] = make([][]float64, len(segments))
+				}
+				if data.segACF[j][si] == nil {
+					data.segACF[j][si] = make([]float64, maxLag+1)
+				}
+				for d := range rho {
+					data.segACF[j][si][d] += rho[d]
+				}
+			}
+		}
 	}
 	for _, j := range acfIdx {
 		for d := range data.acf[j] {
 			data.acf[j][d] /= float64(blocks)
 		}
 	}
+	for _, j := range segIdx {
+		for si := range data.segACF[j] {
+			if data.segACF[j][si] == nil {
+				continue
+			}
+			for d := range data.segACF[j][si] {
+				data.segACF[j][si][d] /= segCount[si]
+			}
+		}
+	}
 	data.samples = blocks * gen.BlockLength()
+	for _, j := range neededEnvelopes(spec, AssertRicianK) {
+		var sum complex128
+		for _, z := range series[j] {
+			sum += z
+		}
+		data.gmean[j] = sum / complex(float64(len(series[j])), 0)
+	}
 	data.cov, err = stats.SampleCovarianceFromSeries(series)
 	return err
+}
+
+// trajectorySegments returns the nonstationary-Doppler trajectory of the
+// spec's fading model, or nil for every other model.
+func trajectorySegments(spec *Spec) []chanspec.DopplerSegment {
+	if chanspec.NormalizeFading(spec.Model.Fading) != chanspec.FadingNonstationaryDoppler || spec.Model.Params == nil {
+		return nil
+	}
+	return spec.Model.Params.Segments
 }
 
 // newRealtimeGenerator builds the realtime generator a spec describes,
@@ -326,6 +387,17 @@ func newRealtimeGenerator(spec *Spec, target *cmplxmat.Matrix) (*core.RealTimeGe
 	if err != nil {
 		return nil, err
 	}
+	transform, err := backend.Transform(spec.Model.Fading, spec.Model.Params, target, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var segments []core.DopplerSegment
+	if traj := trajectorySegments(spec); len(traj) > 0 {
+		segments = make([]core.DopplerSegment, len(traj))
+		for i, s := range traj {
+			segments[i] = core.DopplerSegment{Blocks: s.Blocks, NormalizedDoppler: s.NormalizedDoppler}
+		}
+	}
 	return core.NewRealTimeGenerator(core.RealTimeConfig{
 		Covariance:         target,
 		Filter:             doppler.FilterSpec{M: m, NormalizedDoppler: realtimeDoppler(spec)},
@@ -333,11 +405,18 @@ func newRealtimeGenerator(spec *Spec, target *cmplxmat.Matrix) (*core.RealTimeGe
 		Seed:               spec.Seed,
 		AssumeUnitVariance: spec.Generation.AssumeUnitVariance || assumeUnit,
 		Coloring:           coloring,
+		Transform:          transform,
+		DopplerSegments:    segments,
 	})
 }
 
-// realtimeDoppler returns the normalized Doppler in effect (default 0.05).
+// realtimeDoppler returns the normalized Doppler in effect (default 0.05; the
+// nonstationary trajectory carries per-segment Doppler instead, so its filter
+// spec stays zero).
 func realtimeDoppler(spec *Spec) float64 {
+	if chanspec.NormalizeFading(spec.Model.Fading) == chanspec.FadingNonstationaryDoppler {
+		return 0
+	}
 	if spec.Generation.NormalizedDoppler != 0 {
 		return spec.Generation.NormalizedDoppler
 	}

@@ -99,6 +99,26 @@ const (
 	// per-method measurements are emitted as the Result's deterministic
 	// side-by-side comparison table.
 	AssertComparison = "comparison"
+	// AssertRicianK estimates one envelope's Rician K-factor by the moment
+	// method K̂ = |μ|²/(E|z|² − |μ|²) and compares it against the spec's
+	// model.params.k_factor within Tolerance (relative; absolute when the
+	// configured K is zero). Requires the rician fading model.
+	AssertRicianK = "rician_k"
+	// AssertNakagamiKS runs a Kolmogorov–Smirnov test of one envelope against
+	// the theoretical Nakagami-m distribution of shape model.params.m and the
+	// envelope's Gaussian power Ω. Requires the nakagami_m fading model and
+	// i.i.d. samples (snapshot or batched mode).
+	AssertNakagamiKS = "nakagami_ks"
+	// AssertSuzukiLogMoment checks one envelope's log-envelope moments against
+	// the Suzuki composition: mean (10/ln10)(ln Ω − γ) dB within MeanTolerance
+	// (absolute, dB) and variance (10/ln10)²π²/6 + shadow_sigma_db² dB² within
+	// VarianceTolerance (absolute, dB²). Requires the suzuki fading model.
+	AssertSuzukiLogMoment = "suzuki_logmoment"
+	// AssertSegmentAutocorrelation compares one envelope's per-block lagged
+	// autocorrelation, grouped by trajectory segment, against each segment's
+	// own Jakes model J0(2π·fm_s·d) within Tolerance. Requires the
+	// nonstationary_doppler fading model (realtime mode).
+	AssertSegmentAutocorrelation = "segment_autocorrelation"
 )
 
 // Expected construction outcomes of a comparison assertion's method rows.
@@ -272,8 +292,19 @@ func (s *Spec) Validate() error {
 	if len(s.Assertions) == 0 {
 		return fmt.Errorf("scenario %q: no assertions: %w", s.Name, ErrBadSpec)
 	}
+	fading := chanspec.NormalizeFading(s.Model.Fading)
+	if fading == chanspec.FadingNonstationaryDoppler {
+		if s.Generation.Mode != ModeRealtime {
+			return fmt.Errorf("scenario %q: fading %q needs realtime mode (snapshots have no time axis), got %q: %w",
+				s.Name, fading, s.Generation.Mode, ErrBadSpec)
+		}
+		if s.Generation.NormalizedDoppler != 0 {
+			return fmt.Errorf("scenario %q: fading %q carries per-segment Doppler; generation.normalized_doppler must be omitted: %w",
+				s.Name, fading, ErrBadSpec)
+		}
+	}
 	for i := range s.Assertions {
-		if err := s.Assertions[i].validate(&s.Generation); err != nil {
+		if err := s.Assertions[i].validate(&s.Generation, fading); err != nil {
 			return fmt.Errorf("scenario %q assertion %d: %w", s.Name, i, err)
 		}
 	}
@@ -311,10 +342,27 @@ func (g *GenerationSpec) validate() error {
 	return nil
 }
 
-func (a *AssertionSpec) validate(g *GenerationSpec) error {
+// requireFading rejects an assertion whose statistics are only valid under
+// one fading model (the Rayleigh-marginal gates under composite models would
+// measure the wrong distribution, and vice versa).
+func requireFading(assertType, got string, want ...string) error {
+	for _, w := range want {
+		if got == w {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s assertion needs fading %v, got %q: %w", assertType, want, got, ErrBadSpec)
+}
+
+func (a *AssertionSpec) validate(g *GenerationSpec, fading string) error {
 	mode := g.Mode
 	switch a.Type {
 	case AssertCovariance:
+		if err := requireFading(a.Type, fading, chanspec.FadingRayleigh, chanspec.FadingNonstationaryDoppler); err != nil {
+			// Composite models reshape E[zz*]: the Rician LOS adds a
+			// deterministic outer product, Suzuki shadowing inflates the power.
+			return err
+		}
 		if a.MaxAbsError <= 0 && a.MaxRelFrobenius <= 0 {
 			return fmt.Errorf("covariance assertion needs max_abs_error or max_rel_frobenius: %w", ErrBadSpec)
 		}
@@ -322,14 +370,23 @@ func (a *AssertionSpec) validate(g *GenerationSpec) error {
 			return fmt.Errorf("covariance against must be \"target\" or \"forced\", got %q: %w", a.Against, ErrBadSpec)
 		}
 	case AssertCovarianceDefect:
+		if err := requireFading(a.Type, fading, chanspec.FadingRayleigh, chanspec.FadingNonstationaryDoppler); err != nil {
+			return err
+		}
 		if a.MinAbsError <= 0 {
 			return fmt.Errorf("covariance_defect assertion needs min_abs_error > 0: %w", ErrBadSpec)
 		}
 	case AssertEnvelopeMoments:
+		if err := requireFading(a.Type, fading, chanspec.FadingRayleigh, chanspec.FadingNonstationaryDoppler); err != nil {
+			return err
+		}
 		if a.MeanTolerance <= 0 && a.VarianceTolerance <= 0 {
 			return fmt.Errorf("envelope_moments assertion needs mean_tolerance or variance_tolerance: %w", ErrBadSpec)
 		}
 	case AssertRayleighKS, AssertRayleighChiSquare:
+		if err := requireFading(a.Type, fading, chanspec.FadingRayleigh); err != nil {
+			return err
+		}
 		if mode == ModeRealtime {
 			// The i.i.d. p-value computation is invalid on time-correlated
 			// realtime samples; their marginals are checked via moments.
@@ -339,11 +396,49 @@ func (a *AssertionSpec) validate(g *GenerationSpec) error {
 			return fmt.Errorf("%s assertion needs min_p_value > 0: %w", a.Type, ErrBadSpec)
 		}
 	case AssertAutocorrelation:
+		if err := requireFading(a.Type, fading, chanspec.FadingRayleigh); err != nil {
+			// Composite models distort the Gaussian ACF (Rician adds a constant
+			// mean, Suzuki a slow modulation); the trajectory model has no
+			// single fm — use segment_autocorrelation there.
+			return err
+		}
 		if mode != ModeRealtime {
 			return fmt.Errorf("autocorrelation assertion needs realtime mode, got %q: %w", mode, ErrBadSpec)
 		}
 		if a.Tolerance <= 0 {
 			return fmt.Errorf("autocorrelation assertion needs tolerance > 0: %w", ErrBadSpec)
+		}
+	case AssertRicianK:
+		if err := requireFading(a.Type, fading, chanspec.FadingRician); err != nil {
+			return err
+		}
+		if a.Tolerance <= 0 {
+			return fmt.Errorf("rician_k assertion needs tolerance > 0: %w", ErrBadSpec)
+		}
+	case AssertNakagamiKS:
+		if err := requireFading(a.Type, fading, chanspec.FadingNakagamiM); err != nil {
+			return err
+		}
+		if mode == ModeRealtime {
+			// Same restriction as rayleigh_ks: the p-value needs i.i.d. samples.
+			return fmt.Errorf("nakagami_ks assertion needs snapshot or batched mode, got %q: %w", mode, ErrBadSpec)
+		}
+		if a.MinPValue <= 0 {
+			return fmt.Errorf("nakagami_ks assertion needs min_p_value > 0: %w", ErrBadSpec)
+		}
+	case AssertSuzukiLogMoment:
+		if err := requireFading(a.Type, fading, chanspec.FadingSuzuki); err != nil {
+			return err
+		}
+		if a.MeanTolerance <= 0 && a.VarianceTolerance <= 0 {
+			return fmt.Errorf("suzuki_logmoment assertion needs mean_tolerance or variance_tolerance: %w", ErrBadSpec)
+		}
+	case AssertSegmentAutocorrelation:
+		if err := requireFading(a.Type, fading, chanspec.FadingNonstationaryDoppler); err != nil {
+			return err
+		}
+		if a.Tolerance <= 0 {
+			return fmt.Errorf("segment_autocorrelation assertion needs tolerance > 0: %w", ErrBadSpec)
 		}
 	case AssertPSDForcing:
 		if a.MinClamped == 0 && a.MaxClamped == nil && a.MaxFrobeniusError == 0 &&
@@ -351,6 +446,13 @@ func (a *AssertionSpec) validate(g *GenerationSpec) error {
 			return fmt.Errorf("psd_forcing assertion checks nothing: %w", ErrBadSpec)
 		}
 	case AssertIntoIdentity:
+		if mode != ModeRealtime {
+			// The snapshot twin rebuilds the engine without the fading wrapper;
+			// the realtime twin threads the full model configuration.
+			if err := requireFading(a.Type, fading, chanspec.FadingRayleigh); err != nil {
+				return err
+			}
+		}
 	case AssertParallelIdentity:
 		if mode == ModeSnapshot {
 			return fmt.Errorf("parallel_identity assertion needs batched or realtime mode: %w", ErrBadSpec)
@@ -361,6 +463,11 @@ func (a *AssertionSpec) validate(g *GenerationSpec) error {
 			return fmt.Errorf("parallel_identity in batched mode needs the generalized method, got %q: %w", g.Method, ErrBadSpec)
 		}
 	case AssertComparison:
+		if err := requireFading(a.Type, fading, chanspec.FadingRayleigh); err != nil {
+			// The side-by-side table measures each method against the paper's
+			// Rayleigh contract (Eq. (14)–(15) moments, covariance match).
+			return err
+		}
 		if mode == ModeRealtime {
 			return fmt.Errorf("comparison assertion needs snapshot or batched mode, got %q: %w", mode, ErrBadSpec)
 		}

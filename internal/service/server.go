@@ -122,6 +122,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
@@ -174,6 +175,9 @@ type sessionInfo struct {
 	// Method is the generation backend serving the session (normalized, so
 	// an omitted spec method reads back as "generalized").
 	Method string `json:"method"`
+	// Fading is the fading model serving the session (normalized, so an
+	// omitted model reads back as "rayleigh").
+	Fading string `json:"fading"`
 	// N and BlockLength describe the stream geometry; Blocks its total
 	// length.
 	N           int `json:"n"`
@@ -281,6 +285,7 @@ func (s *Server) info(sess *Session) sessionInfo {
 	return sessionInfo{
 		ID:                 sess.ID,
 		Method:             chanspec.NormalizeMethod(sess.Spec.Method),
+		Fading:             chanspec.NormalizeFading(sess.Spec.Model.Fading),
 		N:                  sess.N(),
 		BlockLength:        sess.BlockLength(),
 		Blocks:             int(sess.Blocks()),
@@ -304,6 +309,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, map[string]any{"methods": chanspec.Methods()})
+}
+
+// handleModels serves the fading-model catalog: the model.fading spec values,
+// each model's envelope distribution, parameters and constraints (see
+// docs/models.md).
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]any{"models": chanspec.FadingModels()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -123,6 +123,10 @@ func (s *SessionSpec) Validate(limits Limits) error {
 	if fm := s.NormalizedDoppler; fm != 0 && (fm <= 0 || fm >= 0.5) {
 		return fmt.Errorf("service: normalized Doppler %g outside (0, 0.5): %w", fm, ErrBadSpec)
 	}
+	if chanspec.NormalizeFading(s.Model.Fading) == chanspec.FadingNonstationaryDoppler && s.NormalizedDoppler != 0 {
+		return fmt.Errorf("service: fading %q carries per-segment Doppler; normalized_doppler must be omitted: %w",
+			s.Model.Fading, ErrBadSpec)
+	}
 	return nil
 }
 
@@ -146,8 +150,12 @@ func (s *SessionSpec) blockLength() int {
 }
 
 // doppler returns the normalized Doppler in effect (default the paper's
-// 0.05, matching the scenario engine).
+// 0.05, matching the scenario engine). The nonstationary-Doppler fading model
+// carries per-segment values instead, so its filter Doppler stays zero.
 func (s *SessionSpec) doppler() float64 {
+	if chanspec.NormalizeFading(s.Model.Fading) == chanspec.FadingNonstationaryDoppler {
+		return 0
+	}
 	if s.NormalizedDoppler != 0 {
 		return s.NormalizedDoppler
 	}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestInverseRegularizedGammaPRoundTrip(t *testing.T) {
+	for _, a := range []float64{0.5, 0.7, 1, 1.5, 2.3, 5, 20} {
+		for _, p := range []float64{1e-10, 1e-4, 0.1, 0.5, 0.9, 0.9999, 1 - 1e-10} {
+			x := InverseRegularizedGammaP(a, p)
+			back := RegularizedGammaP(a, x)
+			if math.Abs(back-p) > 1e-8 {
+				t.Errorf("a=%g p=%g: P(a, x=%g) = %g", a, p, x, back)
+			}
+		}
+	}
+	if InverseRegularizedGammaP(2, 0) != 0 {
+		t.Error("p=0 should invert to 0")
+	}
+	if x := InverseRegularizedGammaP(2, 1); math.IsInf(x, 0) || x < 100 {
+		t.Errorf("p=1 should invert to a large finite quantile, got %g", x)
+	}
+}
+
+func TestNakagamiDist(t *testing.T) {
+	d := NakagamiDist{M: 2.5, Omega: 1.8}
+	// CDF/Quantile round trip.
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		q, err := d.Quantile(p)
+		if err != nil {
+			t.Fatalf("quantile(%g): %v", p, err)
+		}
+		if back := d.CDF(q); math.Abs(back-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, back)
+		}
+	}
+	// m = 1 is exactly Rayleigh with σ² = Ω/2.
+	n1 := NakagamiDist{M: 1, Omega: 2}
+	r := RayleighDist{Sigma: 1}
+	for _, x := range []float64{0.1, 0.5, 1, 2, 3} {
+		if diff := math.Abs(n1.CDF(x) - r.CDF(x)); diff > 1e-12 {
+			t.Errorf("m=1 CDF(%g) differs from Rayleigh by %g", x, diff)
+		}
+		if diff := math.Abs(n1.PDF(x) - r.PDF(x)); diff > 1e-12 {
+			t.Errorf("m=1 PDF(%g) differs from Rayleigh by %g", x, diff)
+		}
+	}
+	if math.Abs(d.MeanSquare()-1.8) > 1e-15 {
+		t.Errorf("MeanSquare = %g, want Ω", d.MeanSquare())
+	}
+	// Mean for m=1, Ω=2: Rayleigh σ=1 mean = sqrt(π/2).
+	if diff := math.Abs(n1.Mean() - math.Sqrt(math.Pi/2)); diff > 1e-12 {
+		t.Errorf("m=1 mean off by %g", diff)
+	}
+}
+
+func TestKolmogorovSmirnovGenericMatchesRayleigh(t *testing.T) {
+	rng := randx.New(7)
+	d := RayleighDist{Sigma: 1.3}
+	x := make([]float64, 4000)
+	for i := range x {
+		re, im := rng.Normal(0, d.Sigma), rng.Normal(0, d.Sigma)
+		x[i] = math.Hypot(re, im)
+	}
+	s1, p1, err1 := KolmogorovSmirnovRayleigh(x, d)
+	s2, p2, err2 := KolmogorovSmirnov(x, d.CDF)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if s1 != s2 || p1 != p2 {
+		t.Fatalf("generic KS (%g, %g) != Rayleigh KS (%g, %g)", s2, p2, s1, p1)
+	}
+	if p1 < 0.01 {
+		t.Fatalf("Rayleigh sample rejected by its own distribution: p = %g", p1)
+	}
+}

@@ -3,7 +3,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // RayleighDist is the Rayleigh distribution with scale parameter sigma (the
@@ -95,25 +94,7 @@ func FitRayleigh(x []float64) (RayleighDist, error) {
 // Kolmogorov distribution. Small statistics / large p-values indicate the
 // sample is consistent with the distribution.
 func KolmogorovSmirnovRayleigh(x []float64, d RayleighDist) (statistic, pValue float64, err error) {
-	if len(x) == 0 {
-		return 0, 0, fmt.Errorf("stats: KS test on empty sample: %w", ErrBadInput)
-	}
-	sorted := append([]float64(nil), x...)
-	sort.Float64s(sorted)
-	n := float64(len(sorted))
-	var dMax float64
-	for i, v := range sorted {
-		cdf := d.CDF(v)
-		upper := float64(i+1)/n - cdf
-		lower := cdf - float64(i)/n
-		if upper > dMax {
-			dMax = upper
-		}
-		if lower > dMax {
-			dMax = lower
-		}
-	}
-	return dMax, kolmogorovPValue(dMax * (math.Sqrt(n) + 0.12 + 0.11/math.Sqrt(n))), nil
+	return KolmogorovSmirnov(x, d.CDF)
 }
 
 // kolmogorovPValue evaluates the asymptotic Kolmogorov survival function

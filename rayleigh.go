@@ -135,6 +135,15 @@ type Config struct {
 	// methods reject configurations outside their vocabulary with
 	// ErrMethodUnsupported or ErrMethodSetup at construction.
 	Method string
+	// Fading selects the envelope model by its spec name (one of the Fading*
+	// constants); empty selects FadingRayleigh. The composite models are
+	// applied per draw on top of the selected method's correlated Gaussians;
+	// FadingNonstationaryDoppler needs a time axis and is rejected here — use
+	// RealTimeConfig. The model vocabulary is catalogued by Models.
+	Fading string
+	// FadingParams carries the selected fading model's parameters; nil is
+	// valid only for FadingRayleigh.
+	FadingParams *FadingParams
 }
 
 // New builds a Generator for the desired covariance matrix.
@@ -143,7 +152,7 @@ func New(cfg Config) (*Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := backend.New(cfg.Method, k, cfg.Seed)
+	b, err := backend.NewWithFading(cfg.Method, cfg.Fading, fadingSpecParams(cfg.FadingParams), k, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("rayleigh: %w", err)
 	}
@@ -179,6 +188,12 @@ type PowersConfig struct {
 	// unequal envelope variances here — the restriction the Eq. (11) entry
 	// point exists to lift.
 	Method string
+	// Fading selects the envelope model (same semantics as Config.Fading:
+	// snapshot modes reject FadingNonstationaryDoppler).
+	Fading string
+	// FadingParams carries the selected fading model's parameters (same
+	// semantics as Config.FadingParams).
+	FadingParams *FadingParams
 }
 
 // NewFromPowers builds a Generator from envelope-power parameters, applying
@@ -192,7 +207,7 @@ func NewFromPowers(cfg PowersConfig) (*Generator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rayleigh: %w", err)
 	}
-	b, err := backend.New(cfg.Method, k, cfg.Seed)
+	b, err := backend.NewWithFading(cfg.Method, cfg.Fading, fadingSpecParams(cfg.FadingParams), k, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("rayleigh: %w", err)
 	}
@@ -335,6 +350,17 @@ type RealTimeConfig struct {
 	// covariance bias is the defect the paper corrects. docs/methods.md
 	// documents each method's real-time semantics.
 	Method string
+	// Fading selects the envelope model (one of the Fading* constants; empty
+	// selects FadingRayleigh). The per-sample models (Rician, Nakagami-m,
+	// Suzuki) transform every generated sample; FadingNonstationaryDoppler
+	// instead replans the Doppler spectrum per trajectory segment, in which
+	// case NormalizedDoppler must be zero — FadingParams.Segments carries the
+	// per-segment values. Either way block k stays a pure function of the
+	// configuration and k, bit-identical for every worker count.
+	Fading string
+	// FadingParams carries the selected fading model's parameters; nil is
+	// valid only for FadingRayleigh.
+	FadingParams *FadingParams
 }
 
 // Block is one block of M consecutive time samples for each of the N
@@ -372,6 +398,26 @@ func realtimeCoreConfig(cfg RealTimeConfig) (core.RealTimeConfig, error) {
 	if err != nil {
 		return core.RealTimeConfig{}, fmt.Errorf("rayleigh: %w", err)
 	}
+	specParams := fadingSpecParams(cfg.FadingParams)
+	if err := chanspec.ValidateFading(cfg.Fading, specParams); err != nil {
+		return core.RealTimeConfig{}, fmt.Errorf("rayleigh: %w", err)
+	}
+	var segments []core.DopplerSegment
+	if chanspec.NormalizeFading(cfg.Fading) == chanspec.FadingNonstationaryDoppler {
+		if cfg.NormalizedDoppler != 0 {
+			return core.RealTimeConfig{}, fmt.Errorf(
+				"rayleigh: fading %q carries per-segment Doppler; NormalizedDoppler must be zero, got %g: %w",
+				cfg.Fading, cfg.NormalizedDoppler, ErrInvalidConfig)
+		}
+		segments = make([]core.DopplerSegment, len(cfg.FadingParams.Segments))
+		for i, s := range cfg.FadingParams.Segments {
+			segments[i] = core.DopplerSegment{Blocks: s.Blocks, NormalizedDoppler: s.NormalizedDoppler}
+		}
+	}
+	transform, err := backend.Transform(cfg.Fading, specParams, k, cfg.Seed)
+	if err != nil {
+		return core.RealTimeConfig{}, fmt.Errorf("rayleigh: %w", err)
+	}
 	return core.RealTimeConfig{
 		Covariance:         k,
 		Filter:             doppler.FilterSpec{M: cfg.IDFTPoints, NormalizedDoppler: cfg.NormalizedDoppler},
@@ -379,6 +425,8 @@ func realtimeCoreConfig(cfg RealTimeConfig) (core.RealTimeConfig, error) {
 		Seed:               cfg.Seed,
 		Coloring:           coloring,
 		AssumeUnitVariance: assumeUnit,
+		Transform:          transform,
+		DopplerSegments:    segments,
 	}, nil
 }
 
@@ -478,9 +526,19 @@ func (r *RealTime) BlocksInto(dst []*Block) error {
 }
 
 // TheoreticalAutocorrelation returns the designed per-envelope normalized
-// autocorrelation J0(2π·fm·lag).
+// autocorrelation J0(2π·fm·lag). Under FadingNonstationaryDoppler it reports
+// the first trajectory segment; use TheoreticalAutocorrelationAt for later
+// blocks.
 func (r *RealTime) TheoreticalAutocorrelation(lag int) float64 {
 	return r.inner.TheoreticalAutocorrelation(lag)
+}
+
+// TheoreticalAutocorrelationAt returns the designed normalized
+// autocorrelation J0(2π·fm·lag) of the trajectory segment covering the given
+// block. Without FadingNonstationaryDoppler every block reports the single
+// configured Doppler.
+func (r *RealTime) TheoreticalAutocorrelationAt(block uint64, lag int) float64 {
+	return r.inner.TheoreticalAutocorrelationAt(block, lag)
 }
 
 // Diagnostics reports the covariance conditioning applied at construction.

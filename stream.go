@@ -52,9 +52,19 @@ func (s *Stream) BlockLength() int { return s.inner.BlockLength() }
 func (s *Stream) SampleVariance() float64 { return s.inner.SampleVariance() }
 
 // TheoreticalAutocorrelation returns the designed per-envelope normalized
-// autocorrelation J0(2π·fm·lag).
+// autocorrelation J0(2π·fm·lag). Under FadingNonstationaryDoppler it reports
+// the first trajectory segment; use TheoreticalAutocorrelationAt for later
+// blocks.
 func (s *Stream) TheoreticalAutocorrelation(lag int) float64 {
 	return s.inner.TheoreticalAutocorrelation(lag)
+}
+
+// TheoreticalAutocorrelationAt returns the designed normalized
+// autocorrelation J0(2π·fm·lag) of the trajectory segment covering the given
+// block. Without FadingNonstationaryDoppler every block reports the single
+// configured Doppler.
+func (s *Stream) TheoreticalAutocorrelationAt(block uint64, lag int) float64 {
+	return s.inner.TheoreticalAutocorrelationAt(block, lag)
 }
 
 // Diagnostics reports the covariance conditioning applied at construction.
