@@ -1,0 +1,79 @@
+// Command fadinglint runs the repository's static-analysis suite: five
+// analyzers (detrand, canonfields, shardlock, allocfree, errcodes) enforcing
+// the determinism, canonical-hash, lock-discipline, zero-allocation and
+// error-contract invariants that the runtime tests can only spot-check. See
+// docs/linting.md for the catalog and directive syntax.
+//
+// Two modes share one binary:
+//
+//	fadinglint ./...                 standalone: load, analyze, report
+//	go vet -vettool=fadinglint ./... toolchain-driven, test files included
+//
+// Exit codes follow the scenariorun convention: 0 clean, 1 findings (or a
+// failed analysis), 2 usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/checker"
+	"repro/internal/lint/load"
+	"repro/internal/lint/unitchecker"
+)
+
+func main() {
+	// A cmd/go vet invocation (-V=full, -flags, or a .cfg unit file) is
+	// dispatched before flag parsing: the protocol's flags are not ours.
+	if unitchecker.IsVetInvocation(os.Args[1:]) {
+		os.Exit(unitchecker.Main(os.Args[0], os.Args[1:], lint.Analyzers()))
+	}
+
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fadinglint [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which fadinglint) [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the fadinglint analyzer suite (docs/linting.md) over the named\n")
+		fmt.Fprintf(os.Stderr, "Go packages (default ./...). Exit code 0 clean, 1 findings, 2 usage.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fadinglint: %v\n", err)
+		os.Exit(2)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		findings, err := checker.Run(&checker.Target{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+		}, lint.Analyzers())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fadinglint: %v\n", err)
+			os.Exit(1)
+		}
+		checker.Print(os.Stdout, findings)
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "fadinglint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}

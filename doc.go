@@ -135,6 +135,14 @@
 // fault and gate catalogs, determinism contract and the overload/retry
 // semantics they enforce are documented in docs/slo.md and docs/service.md.
 //
+// The invariants behind all of the above — no ambient nondeterminism in
+// generation packages, canonical hashes covering every spec field,
+// lock-discipline on the sharded session table, allocation-free hot paths,
+// the typed error contract — are enforced at compile time by the fadinglint
+// analyzer suite ("go run ./cmd/fadinglint ./...", or via
+// go vet -vettool); docs/linting.md catalogs the analyzers and their
+// directive syntax.
+//
 // A repository-level overview (architecture map, quickstart, methods table)
 // lives in README.md.
 package rayleigh

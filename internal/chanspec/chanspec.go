@@ -47,6 +47,12 @@ const (
 // Model selects and parameterizes a correlation model. Type selects the
 // model; the other fields are read per type as documented on the Model*
 // constants and in docs/scenarios.md.
+//
+// Every exported field must be folded into Canonical: the encoding is the
+// setup-cache content address, and a field the hash misses aliases distinct
+// channels. fadinglint's canonfields analyzer enforces this at compile time.
+//
+// fadinglint:canon=Canonical
 type Model struct {
 	Type string `json:"type"`
 	// N is the number of envelopes (identity, exponential, constant,

@@ -52,7 +52,11 @@ type DopplerSegment struct {
 
 // FadingParams carries the per-model parameters of Model.Params. Each fading
 // model reads only its own fields (documented per field); Canonical drops the
-// rest so equivalent specs hash identically.
+// rest so equivalent specs hash identically. New exported fields must be
+// copied by canonicalFading for the model that reads them — the canonfields
+// analyzer fails the lint run otherwise.
+//
+// fadinglint:canon=canonicalFading
 type FadingParams struct {
 	// KFactor is the Rician K-factor (LOS power / scattered power), ≥ 0.
 	// K = 0 degenerates to Rayleigh.

@@ -27,6 +27,8 @@ func (m *Matrix) Data() []complex128 { return m.data }
 // The dot product runs on four independent accumulators: a single running sum
 // serializes on floating-point add latency, which measurably dominates the
 // snapshot hot path at moderate N.
+//
+// fadinglint:allocfree
 func MulVecInto(dst []complex128, a *Matrix, x []complex128) error {
 	if a.cols != len(x) {
 		return fmt.Errorf("cmplxmat: MulVecInto %dx%d with vector of length %d: %w", a.rows, a.cols, len(x), ErrDimension)
@@ -55,6 +57,8 @@ func MulVecInto(dst []complex128, a *Matrix, x []complex128) error {
 
 // MulInto computes dst = a·b without allocating. dst must be a.Rows()×b.Cols()
 // and must not alias a or b.
+//
+// fadinglint:allocfree
 func MulInto(dst, a, b *Matrix) error {
 	if a.cols != b.rows {
 		return fmt.Errorf("cmplxmat: MulInto %dx%d with %dx%d: %w", a.rows, a.cols, b.rows, b.cols, ErrDimension)
@@ -97,6 +101,8 @@ const colorBlockCols = 128
 // target) a two-multiply-per-sample kernel runs instead of the full complex
 // product; its results are bit-identical to the generic kernel's. Z must not
 // alias L or W.
+//
+// fadinglint:allocfree
 func ColorBlock(l, w, z *Matrix) error {
 	if !l.IsSquare() {
 		return fmt.Errorf("cmplxmat: ColorBlock coloring matrix %dx%d not square: %w", l.rows, l.cols, ErrDimension)

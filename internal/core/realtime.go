@@ -344,6 +344,8 @@ func (g *RealTimeGenerator) GenerateBlock() *Block {
 // continues the same per-envelope random streams as GenerateBlock, produces
 // identical values, and performs no steady-state heap allocation for
 // power-of-two M.
+//
+// fadinglint:allocfree
 func (g *RealTimeGenerator) GenerateBlockInto(b *Block) error {
 	if b == nil {
 		return fmt.Errorf("core: nil destination block: %w", ErrBadInput)
@@ -362,6 +364,8 @@ func (g *RealTimeGenerator) GenerateBlockInto(b *Block) error {
 // the row and hands it to the transform, which rewrites samples and envelopes
 // in place; index is the block's position in its sequence, giving the
 // transform its global sample offset.
+//
+// fadinglint:allocfree
 func (g *RealTimeGenerator) fillBlock(gens []*doppler.Generator, seg *rtSegment, rngs []*randx.RNG, w, z *cmplxmat.Matrix, b *Block, index uint64) {
 	for j := 0; j < g.n; j++ {
 		// Row length equals the generator's M by construction.
@@ -448,6 +452,8 @@ func (g *RealTimeGenerator) NewBlockScratch() (*BlockScratch, error) {
 // two scratches carry private Doppler generators). With a pre-shaped b and
 // power-of-two M it performs no heap allocation: the scratch's RNG set is
 // reseeded in place from the O(1) split derivation.
+//
+// fadinglint:allocfree
 func (g *RealTimeGenerator) GenerateBlockAt(index uint64, b *Block, s *BlockScratch) error {
 	if b == nil {
 		return fmt.Errorf("core: nil destination block: %w", ErrBadInput)

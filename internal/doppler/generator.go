@@ -77,6 +77,8 @@ func (g *Generator) Block(rng *randx.RNG) []complex128 {
 // The generator itself is read-only after construction; concurrent BlockInto
 // calls with distinct rng and dst are safe when M is a power of two (the
 // plan's Bluestein scratch for other lengths is shared).
+//
+// fadinglint:allocfree
 func (g *Generator) BlockInto(rng *randx.RNG, dst []complex128) error {
 	m := g.spec.M
 	if len(dst) != m {

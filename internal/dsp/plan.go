@@ -134,6 +134,8 @@ func (p *Plan) Inverse(x []complex128) { p.transform(x, true) }
 
 // InverseScaled computes the in-place inverse DFT with the 1/M normalization
 // used by the Young–Beaulieu IDFT generator (the same convention as IFFT).
+//
+// fadinglint:allocfree
 func (p *Plan) InverseScaled(x []complex128) {
 	p.transform(x, true)
 	inv := complex(1/float64(p.n), 0)

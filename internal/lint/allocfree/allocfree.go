@@ -1,0 +1,311 @@
+// Package allocfree implements the fadinglint analyzer that turns the
+// repository's AllocsPerRun contracts into per-line diagnostics. A function
+// marked
+//
+//	// fadinglint:allocfree
+//
+// (the GenerateBlockAt / ColorBlock / stream-serve hot paths) promises zero
+// steady-state heap allocation; inside its body the analyzer flags the
+// allocation idioms the runtime tests only catch in aggregate: fmt calls,
+// closures, make/new/append, slice, map and address-of composite literals,
+// string concatenation and string<->[]byte conversion, and non-pointer-shaped
+// values boxed into interfaces.
+//
+// Two escape hatches keep the signal clean. Cold error paths are exempt
+// automatically: a node inside an if or switch-case whose block ends by
+// returning a non-nil result (or panicking) is the error-return idiom, which
+// the AllocsPerRun contract never exercises. Everything else that allocates
+// on purpose carries "//lint:allow allocfree <reason>".
+//
+// The check is intra-function: callees are not inlined, so a helper that
+// allocates must be annotated (and checked) itself. The AllocsPerRun tests
+// remain the end-to-end backstop.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the allocfree check.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "flag allocation idioms inside fadinglint:allocfree functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, marked := directive.FuncMarker(fd.Doc, "allocfree"); marked {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc scans one allocfree function body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		if coldPath(stack) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in allocfree function may capture variables and allocate")
+		case *ast.CompositeLit:
+			checkComposite(pass, n, stack)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypesInfo.Types[n.X].Type) && !isConst(pass, n) {
+				pass.Reportf(n.OpPos, "string concatenation in allocfree function allocates")
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		}
+	})
+}
+
+// checkCall classifies one call: builtin allocators, fmt, string
+// conversions, and interface-boxing arguments.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	tv := pass.TypesInfo.Types[call.Fun]
+	if tv.IsType() {
+		// Conversion: string <-> []byte / []rune copies.
+		to := tv.Type.Underlying()
+		from := pass.TypesInfo.Types[call.Args[0]]
+		if from.Value != nil {
+			return // constant conversions are materialized statically
+		}
+		fromT := from.Type
+		if fromT == nil {
+			return
+		}
+		if (isString(to) && isByteOrRuneSlice(fromT.Underlying())) ||
+			(isByteOrRuneSlice(to) && isString(fromT.Underlying())) {
+			pass.Reportf(call.Pos(), "conversion between string and byte/rune slice in allocfree function copies and allocates")
+		}
+		return
+	}
+	if tv.IsBuiltin() {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make in allocfree function allocates; hoist the buffer to construction time")
+			case "new":
+				pass.Reportf(call.Pos(), "new in allocfree function allocates; reuse a preallocated value")
+			case "append":
+				pass.Reportf(call.Pos(), "append in allocfree function may grow its backing array; preallocate capacity at construction time")
+			}
+		}
+		return
+	}
+	// fmt anywhere in a hot path both allocates and boxes.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s in allocfree function allocates (formatting state and boxed operands)", sel.Sel.Name)
+			return
+		}
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	checkBoxedArgs(pass, call, sig)
+}
+
+// checkBoxedArgs flags non-pointer-shaped values passed to interface-typed
+// parameters (the hidden allocation of interface conversion).
+func checkBoxedArgs(pass *analysis.Pass, call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				return // a slice passed through whole is not boxed per element
+			}
+			s, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				return
+			}
+			param = s.Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			return
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		if _, isTypeParam := param.(*types.TypeParam); isTypeParam {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg]
+		if boxes(at) {
+			pass.Reportf(arg.Pos(), "%s value boxed into interface parameter allocates in allocfree function", at.Type)
+		}
+	}
+}
+
+// checkComposite flags slice/map literals and address-of composite literals;
+// plain struct value literals stay on the stack and are allowed.
+func checkComposite(pass *analysis.Pass, lit *ast.CompositeLit, stack []ast.Node) {
+	if len(stack) > 0 {
+		// The inner literal of &T{...} is reported once, on the &.
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			pass.Reportf(u.Pos(), "address-of composite literal in allocfree function escapes to the heap")
+			return
+		}
+		// Element literals of an outer composite are covered by the outer
+		// report.
+		if _, ok := stack[len(stack)-1].(*ast.CompositeLit); ok {
+			return
+		}
+	}
+	t := pass.TypesInfo.Types[lit].Type
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal in allocfree function allocates its backing array")
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal in allocfree function allocates")
+	}
+}
+
+// checkAssign flags concrete values boxed into interface-typed destinations.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := pass.TypesInfo.Types[lhs].Type
+		if as.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		if lt == nil || !types.IsInterface(lt) {
+			continue
+		}
+		if boxes(pass.TypesInfo.Types[as.Rhs[i]]) {
+			pass.Reportf(as.Rhs[i].Pos(), "%s value boxed into interface allocates in allocfree function", pass.TypesInfo.Types[as.Rhs[i]].Type)
+		}
+	}
+}
+
+// boxes reports whether storing the value in an interface allocates:
+// constants are staged statically, pointer-shaped types share their word,
+// everything else copies to the heap.
+func boxes(tv types.TypeAndValue) bool {
+	if tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return false
+	}
+	return true
+}
+
+// coldPath reports whether the node at the top of stack sits in an error
+// branch: an if body or switch case that ends by returning a non-nil final
+// result or panicking. Those statements never run in the steady state the
+// AllocsPerRun contract measures.
+func coldPath(stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			if _, isIf := stack[i-1].(*ast.IfStmt); isIf && terminatesCold(n.List) {
+				return true
+			}
+		case *ast.CaseClause:
+			if terminatesCold(n.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// terminatesCold reports whether a statement list ends in a non-nil return
+// or a panic.
+func terminatesCold(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		if len(last.Results) == 0 {
+			return false
+		}
+		final, ok := last.Results[len(last.Results)-1].(*ast.Ident)
+		return !ok || final.Name != "nil"
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteOrRuneSlice reports whether t is []byte or []rune.
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isConst reports whether the whole expression is constant (constant
+// concatenation folds at compile time).
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	return pass.TypesInfo.Types[e].Value != nil
+}
+
+// walkStack visits every node under root with its ancestor stack (root
+// first, parent of n last).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

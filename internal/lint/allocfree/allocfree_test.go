@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/allocfree"
+	"repro/internal/lint/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, "../testdata", allocfree.Analyzer, "allocfree")
+}

@@ -1,0 +1,62 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named check, a
+// Pass hands it one type-checked package, and diagnostics are positioned
+// messages. The repository vendors the shape rather than the module so the
+// lint suite builds with nothing but the standard library (the toolchain
+// image carries no module proxy); if x/tools ever lands in the build, the
+// analyzers port over by swapping this import path.
+//
+// Only the subset the fadinglint suite needs is implemented: no facts, no
+// Requires graph, no SSA. Analyzers are pure functions of a single package's
+// syntax and types.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name (the identifier used by
+// //lint:allow directives and diagnostic suffixes), documentation, and the
+// function applying it to a package.
+type Analyzer struct {
+	// Name is a short lower-case identifier, e.g. "detrand".
+	Name string
+	// Doc is the analyzer's documentation. The first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package, reporting diagnostics through
+	// pass.Report. The result value is unused (kept for x/tools parity).
+	Run func(pass *Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is one application of one analyzer to one package.
+type Pass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+	// Fset maps positions of Files.
+	Fset *token.FileSet
+	// Files is the package's syntax, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The reporting
+// analyzer's name is attached by the driver, not stored here.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

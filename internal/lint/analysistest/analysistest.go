@@ -1,0 +1,258 @@
+// Package analysistest runs a fadinglint analyzer over golden fixture
+// packages and checks its findings against "// want" expectations, mirroring
+// the golang.org/x/tools/go/analysis/analysistest contract on the stdlib
+// only. A fixture line
+//
+//	time.Now() // want `reads the wall clock`
+//
+// expects exactly one finding on that line matching the regexp; multiple
+// quoted patterns expect multiple findings. Lines carrying //lint:allow
+// directives and no want comment assert suppression: a finding there fails
+// the test. Fixtures live under testdata/src/<pkg>/ and may import only the
+// standard library (dependency export data comes from `go list -export`).
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/checker"
+	"repro/internal/lint/load"
+)
+
+// Run analyzes each fixture package under testdata/src and reports
+// expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPackage(t, filepath.Join(testdata, "src", pkg), pkg, a)
+	}
+}
+
+// runPackage checks one fixture package.
+func runPackage(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture package %s: %v", pkgPath, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture package %s has no Go files", pkgPath)
+	}
+
+	info := load.NewInfo()
+	conf := &types.Config{
+		Importer: stdImporter(t, fset, files),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
+	}
+
+	findings, err := checker.Run(&checker.Target{Fset: fset, Files: files, Pkg: tpkg, Info: info},
+		[]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, pkgPath, err)
+	}
+	compare(t, fset, files, findings)
+}
+
+// expectation is one want pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	source  string
+	matched bool
+}
+
+// compare checks findings against the fixtures' want comments.
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, findings []checker.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := parseWant(strings.TrimSpace(text[idx+len("want "):]))
+				if err != nil {
+					t.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re, source: p})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.pattern.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.source)
+		}
+	}
+}
+
+// parseWant splits a want payload into its quoted or backquoted patterns.
+func parseWant(s string) ([]string, error) {
+	var patterns []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			patterns = append(patterns, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			rest := s[1:]
+			end := strings.IndexByte(rest, '"')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				return nil, err
+			}
+			patterns = append(patterns, unq)
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("want pattern must be quoted or backquoted, got %q", s)
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("want comment has no patterns")
+	}
+	return patterns, nil
+}
+
+var (
+	exportMu    sync.Mutex
+	exportFiles = map[string]string{} // import path -> export data file
+)
+
+// stdImporter returns an importer serving the standard-library imports of
+// the fixture files from `go list -export` data, cached per process.
+func stdImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+	t.Helper()
+	var need []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			need = append(need, path)
+		}
+	}
+	ensureExports(t, need)
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		file, ok := exportFiles[path]
+		exportMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("analysistest: no export data for %q (fixtures may import only the standard library)", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// ensureExports populates exportFiles for the named packages and their
+// dependencies.
+func ensureExports(t *testing.T, paths []string) {
+	t.Helper()
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exportFiles[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("analysistest: go list -export %v: %v\n%s", missing, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("analysistest: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package canonfields implements the fadinglint analyzer that keeps spec
+// structs and their canonical/hash writers in lockstep. A struct annotated
+//
+//	// fadinglint:canon=WriterName
+//
+// promises that WriterName (a function or method in the same package, e.g.
+// chanspec.Model's Canonical or service.SessionSpec's setupKey) folds every
+// exported field into the content-addressed encoding. The analyzer walks the
+// writer and its same-package callees and requires each exported field to be
+// referenced somewhere in that call graph; a newly added field that never
+// reaches the writer is a build-time diagnostic instead of a cache-collision
+// incident. Fields excluded on purpose (service.SessionSpec.Blocks bounds
+// the served range, not the stream content) carry
+// "//lint:allow canonfields <reason>" on their declaration line.
+package canonfields
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the canonfields check.
+var Analyzer = &analysis.Analyzer{
+	Name: "canonfields",
+	Doc:  "require every exported field of a fadinglint:canon struct to be referenced by its canonical writer",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := funcDecls(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				writer, ok := directive.FuncMarker(ts.Doc, "canon")
+				if !ok {
+					writer, ok = directive.FuncMarker(gd.Doc, "canon")
+				}
+				if !ok {
+					continue
+				}
+				if writer == "" {
+					pass.Reportf(ts.Pos(), "fadinglint:canon marker on %s names no writer (want fadinglint:canon=Func)", ts.Name.Name)
+					continue
+				}
+				check(pass, decls, ts, st, writer)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// check verifies one annotated struct against its writer's call graph.
+func check(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, ts *ast.TypeSpec, st *ast.StructType, writer string) {
+	// The annotated struct's exported field objects.
+	fieldOf := make(map[types.Object]*ast.Field)
+	var order []types.Object
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				fieldOf[obj] = field
+				order = append(order, obj)
+			}
+		}
+	}
+
+	root := findWriter(pass, decls, ts, writer)
+	if root == nil {
+		pass.Reportf(ts.Pos(), "canonical writer %q of %s not found in this package", writer, ts.Name.Name)
+		return
+	}
+
+	// Walk the writer and every same-package callee, marking referenced
+	// fields. The traversal follows plain function and method calls; one
+	// visited set keeps recursion finite.
+	covered := make(map[types.Object]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	var walk func(fd *ast.FuncDecl)
+	walk = func(fd *ast.FuncDecl) {
+		if fd == nil || visited[fd] || fd.Body == nil {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					if _, isField := fieldOf[obj]; isField {
+						covered[obj] = true
+					}
+					if callee, ok := decls[obj]; ok {
+						walk(callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(root)
+
+	for _, obj := range order {
+		if covered[obj] {
+			continue
+		}
+		field := fieldOf[obj]
+		pass.Reportf(field.Pos(),
+			"%s.%s is not referenced by canonical writer %s: the content hash misses it (fold it in, or annotate //lint:allow canonfields <why it is not content>)",
+			ts.Name.Name, obj.Name(), writer)
+	}
+}
+
+// findWriter resolves the writer name to a function declaration, preferring
+// a method on the annotated type over a package-level function of the same
+// name.
+func findWriter(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, ts *ast.TypeSpec, writer string) *ast.FuncDecl {
+	typeObj := pass.TypesInfo.Defs[ts.Name]
+	var fallback *ast.FuncDecl
+	for obj, fd := range decls {
+		if obj.Name() != writer {
+			continue
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if recv := sig.Recv(); recv != nil && typeObj != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj() == typeObj {
+				return fd
+			}
+			continue
+		}
+		fallback = fd
+	}
+	return fallback
+}
+
+// funcDecls indexes the package's function declarations by their objects.
+func funcDecls(pass *analysis.Pass) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}

@@ -1,0 +1,12 @@
+package canonfields_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/canonfields"
+)
+
+func TestCanonfields(t *testing.T) {
+	analysistest.Run(t, "../testdata", canonfields.Analyzer, "canonfields")
+}

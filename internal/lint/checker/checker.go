@@ -1,0 +1,101 @@
+// Package checker runs a set of analyzers over type-checked packages,
+// applies //lint:allow suppression, and renders findings. It is the shared
+// core of cmd/fadinglint's standalone and `go vet -vettool` modes and of the
+// analysistest fixture harness.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// Finding is one rendered diagnostic.
+type Finding struct {
+	// Analyzer names the reporting check ("directive" for malformed
+	// suppression directives).
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message is the diagnostic text.
+	Message string
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (f Finding) String() string {
+	name := f.Pos.Filename
+	if rel, err := filepath.Rel(".", name); err == nil && len(rel) < len(name) {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", name, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Target is the package material one analysis pass consumes. Both drivers
+// (the go list loader and the vet unitchecker) produce this shape.
+type Target struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run applies every analyzer to the target, suppresses allowed findings, and
+// reports malformed directives. Findings come back sorted by position.
+func Run(t *Target, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	allows := directive.CollectAllows(t.Fset, t.Files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			if allows.Allowed(t.Fset, d.Pos, a.Name) {
+				return
+			}
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Pos:      t.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("checker: %s: %w", a.Name, err)
+		}
+	}
+	for _, m := range allows.Malformed() {
+		findings = append(findings, Finding{
+			Analyzer: "directive",
+			Pos:      t.Fset.Position(m.Pos),
+			Message:  m.Message,
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// Print writes findings one per line.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+}

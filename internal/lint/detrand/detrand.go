@@ -1,0 +1,142 @@
+// Package detrand implements the fadinglint analyzer forbidding ambient
+// nondeterminism — wall clocks, global or crypto randomness, environment
+// reads, and map-iteration-order dependence — inside the repository's
+// deterministic generation packages. Byte-identity of block k across seeds,
+// workers, resumes and replicas is the reproduction's core guarantee; one
+// stray time.Now() breaks it fleet-wide, so the sources are banned at
+// compile time rather than hunted by statistical tests.
+//
+// The analyzer applies to packages whose import path ends in one of the
+// deterministic paths (internal/core, internal/fading, internal/doppler,
+// internal/randx, internal/baseline, internal/chanspec) and to any package
+// carrying a "// fadinglint:deterministic" comment. Test files are exempt:
+// tests may measure wall time or exercise nondeterminism on purpose.
+// Legitimate call sites — a seeded rand.New over a local source is fine,
+// only the global math/rand source is banned — are suppressed with
+// "//lint:allow detrand <reason>".
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall clocks, ambient randomness, env reads and map-order dependence in deterministic packages",
+	Run:  run,
+}
+
+// deterministicPaths are the import-path suffixes opted in by default.
+var deterministicPaths = []string{
+	"internal/core",
+	"internal/fading",
+	"internal/doppler",
+	"internal/randx",
+	"internal/baseline",
+	"internal/chanspec",
+}
+
+// bannedTime are the wall-clock and timer entry points of package time.
+// Durations and pure formatting (time.Duration, time.Unix) stay legal.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true, "Sleep": true,
+}
+
+// bannedOS are the ambient-environment reads of package os.
+var bannedOS = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+	"Hostname": true, "Getpid": true,
+}
+
+// mathRandAllowed are the package-level math/rand functions that do not
+// touch the global source: constructing a locally seeded generator is the
+// deterministic idiom this repository is built on (internal/randx).
+var mathRandAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !applies(pass) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				checkUse(pass, n)
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(),
+							"map iteration order is nondeterministic in a deterministic package; sort the keys or annotate //lint:allow detrand <why order cannot reach output>")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// applies reports whether the package is in detrand's scope.
+func applies(pass *analysis.Pass) bool {
+	path := pass.Pkg.Path()
+	for _, suffix := range deterministicPaths {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	for _, f := range pass.Files {
+		if directive.FileHasMarker(f, "deterministic") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkUse flags identifiers resolving to banned objects. Working from
+// use-objects rather than selector syntax catches aliased and dot imports.
+func checkUse(pass *analysis.Pass, id *ast.Ident) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	// Only package-level functions and variables of the banned packages are
+	// ambient: type and constant references (a *rand.Rand field, a time
+	// constant) carry no entropy, and methods on locally constructed values
+	// (a *rand.Rand over a seeded source) are deterministic.
+	switch o := obj.(type) {
+	case *types.TypeName, *types.Const:
+		return
+	case *types.Func:
+		if o.Signature().Recv() != nil {
+			return
+		}
+	}
+	name := obj.Name()
+	switch obj.Pkg().Path() {
+	case "time":
+		if bannedTime[name] {
+			pass.Reportf(id.Pos(), "time.%s reads the wall clock in a deterministic package; thread an explicit clock or seed instead", name)
+		}
+	case "os":
+		if bannedOS[name] {
+			pass.Reportf(id.Pos(), "os.%s reads ambient process state in a deterministic package; pass configuration explicitly", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !mathRandAllowed[name] {
+			pass.Reportf(id.Pos(), "%s.%s draws from the shared global source; construct a seeded generator (internal/randx) instead", obj.Pkg().Path(), name)
+		}
+	case "crypto/rand":
+		pass.Reportf(id.Pos(), "crypto/rand.%s is irreproducible entropy; deterministic packages must derive randomness from the spec seed", name)
+	}
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "../testdata", detrand.Analyzer, "detrand")
+}

@@ -1,0 +1,158 @@
+// Package directive parses the two comment vocabularies of the fadinglint
+// suite: suppression directives (//lint:allow <analyzer> <reason>) and
+// marker annotations (// fadinglint:<key>[=value] [arg]) that opt functions,
+// fields and packages into specific checks. docs/linting.md documents the
+// full syntax.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Marker is the comment prefix of fadinglint annotations.
+const Marker = "fadinglint:"
+
+// allowPrefix is the comment prefix of suppression directives.
+const allowPrefix = "lint:allow"
+
+// Allow is one parsed //lint:allow directive.
+type Allow struct {
+	// Analyzer names the suppressed check.
+	Analyzer string
+	// Reason is the mandatory justification.
+	Reason string
+	// Pos is the directive's position.
+	Pos token.Pos
+}
+
+// Malformed is a syntactically recognized but invalid directive (a reasonless
+// allow, say). Drivers report these as findings so a bare suppression cannot
+// silently disable a check.
+type Malformed struct {
+	Pos     token.Pos
+	Message string
+}
+
+// AllowSet indexes a package's suppression directives by file and line.
+type AllowSet struct {
+	// byLine maps filename -> line -> allows effective on that line.
+	byLine    map[string]map[int][]Allow
+	malformed []Malformed
+}
+
+// CollectAllows scans every comment of files for //lint:allow directives. A
+// directive suppresses matching findings on its own line (trailing form) and
+// on the line directly below (standalone form).
+func CollectAllows(fset *token.FileSet, files []*ast.File) *AllowSet {
+	s := &AllowSet{byLine: make(map[string]map[int][]Allow)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					s.malformed = append(s.malformed, Malformed{c.Pos(),
+						"lint:allow directive names no analyzer (want //lint:allow <analyzer> <reason>)"})
+					continue
+				}
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Malformed{c.Pos(),
+						"lint:allow " + fields[0] + " has no reason (want //lint:allow <analyzer> <reason>)"})
+					continue
+				}
+				a := Allow{Analyzer: fields[0], Reason: strings.Join(fields[1:], " "), Pos: c.Pos()}
+				p := fset.Position(c.Pos())
+				lines := s.byLine[p.Filename]
+				if lines == nil {
+					lines = make(map[int][]Allow)
+					s.byLine[p.Filename] = lines
+				}
+				lines[p.Line] = append(lines[p.Line], a)
+				lines[p.Line+1] = append(lines[p.Line+1], a)
+			}
+		}
+	}
+	return s
+}
+
+// Allowed reports whether a finding of the named analyzer at pos is
+// suppressed.
+func (s *AllowSet) Allowed(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	for _, a := range s.byLine[p.Filename][p.Line] {
+		if a.Analyzer == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Malformed returns the invalid directives found by CollectAllows.
+func (s *AllowSet) Malformed() []Malformed { return s.malformed }
+
+// FuncMarker returns the argument of a "fadinglint:<key>" marker in the
+// given doc comment: "// fadinglint:allocfree" yields ("", true) for key
+// "allocfree", "// fadinglint:holdslock mu" yields ("mu", true) for key
+// "holdslock", and "// fadinglint:canon=Canonical" yields ("Canonical",
+// true) for key "canon".
+func FuncMarker(doc *ast.CommentGroup, key string) (arg string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		rest, found := strings.CutPrefix(text, Marker+key)
+		if !found {
+			continue
+		}
+		switch {
+		case rest == "":
+			return "", true
+		case strings.HasPrefix(rest, "="):
+			return strings.TrimSpace(rest[1:]), true
+		case strings.HasPrefix(rest, " "):
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// FileHasMarker reports whether any comment of f carries the given
+// "fadinglint:<key>" marker (package-level opt-ins).
+func FileHasMarker(f *ast.File, key string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == Marker+key {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// GuardedBy returns the lock name of a "guarded-by: <lock>" annotation in a
+// field's doc or line comment.
+func GuardedBy(groups ...*ast.CommentGroup) (lock string, ok bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, found := strings.CutPrefix(text, "guarded-by:")
+			if !found {
+				continue
+			}
+			if name := strings.Fields(rest); len(name) > 0 {
+				return name[0], true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,191 @@
+// Package errcodes implements the fadinglint analyzer enforcing the
+// service's error-response contract (the PR 6 hardening): every HTTP error
+// must carry the machine-readable {code,error} JSON envelope, and every
+// overload answer (429/503) must advertise Retry-After.
+//
+// Concretely, in packages whose import path ends in internal/service (or
+// carrying a "// fadinglint:errcodes" comment):
+//
+//   - http.Error is banned outside functions marked
+//     "// fadinglint:errwriter" — it writes text/plain with no code field;
+//   - WriteHeader with a constant status >= 400 is banned outside errwriter
+//     functions, so every error response funnels through the typed helper;
+//   - a function that mentions 429 (http.StatusTooManyRequests) or 503
+//     (http.StatusServiceUnavailable) and writes responses must also set the
+//     Retry-After header somewhere in its body.
+//
+// Deliberate exceptions carry "//lint:allow errcodes <reason>". Test files
+// are exempt (tests assert on raw status codes constantly).
+package errcodes
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the errcodes check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcodes",
+	Doc:  "require typed {code,error} envelopes on >=400 responses and Retry-After on 429/503",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !applies(pass) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			_, errwriter := directive.FuncMarker(fd.Doc, "errwriter")
+			checkFunc(pass, fd, errwriter)
+		}
+	}
+	return nil, nil
+}
+
+// applies reports whether the package is in errcodes' scope.
+func applies(pass *analysis.Pass) bool {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/service") {
+		return true
+	}
+	for _, f := range pass.Files {
+		if directive.FileHasMarker(f, "errcodes") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc applies the three rules to one function.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, errwriter bool) {
+	var (
+		overloadPos   ast.Node // first mention of a 429/503 status
+		setsRetry     bool
+		writesAnswers bool
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			writesAnswers = writesAnswers || isResponseWrite(pass, n)
+			if !errwriter {
+				if isHTTPError(pass, n) {
+					pass.Reportf(n.Pos(), "http.Error writes text/plain with no machine-readable code; use the typed {code,error} helper (or mark this function fadinglint:errwriter)")
+				}
+				if status, ok := constStatusWrite(pass, n); ok && status >= 400 {
+					pass.Reportf(n.Pos(), "WriteHeader(%d) outside an errwriter function; route >=400 responses through the typed {code,error} helper", status)
+				}
+			}
+			if isRetryAfterSet(pass, n) {
+				setsRetry = true
+			}
+		case *ast.Ident:
+			if overloadPos == nil && isOverloadStatus(pass, n) {
+				overloadPos = n
+			}
+		case *ast.BasicLit:
+			if overloadPos == nil && (n.Value == "429" || n.Value == "503") {
+				overloadPos = n
+			}
+		}
+		return true
+	})
+	if overloadPos != nil && writesAnswers && !setsRetry {
+		pass.Reportf(overloadPos.Pos(),
+			"%s answers 429/503 without setting Retry-After; overload responses must tell clients when to come back", fd.Name.Name)
+	}
+}
+
+// isHTTPError reports a call to net/http.Error.
+func isHTTPError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Error"
+}
+
+// constStatusWrite matches <w>.WriteHeader(<constant>) and returns the
+// status.
+func constStatusWrite(pass *analysis.Pass, call *ast.CallExpr) (int64, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return 0, false
+	}
+	tv := pass.TypesInfo.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	status, ok := constant.Int64Val(tv.Value)
+	return status, ok
+}
+
+// isResponseWrite reports calls that commit a response: WriteHeader, or a
+// call to a function marked as (or conventionally named like) an error
+// writer in this package.
+func isResponseWrite(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "WriteHeader"
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[fun]
+		if obj == nil {
+			return false
+		}
+		// A same-package call whose first parameter is an http.ResponseWriter
+		// is a response-writing helper (writeError and friends).
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok || sig.Params().Len() == 0 {
+			return false
+		}
+		return isResponseWriter(sig.Params().At(0).Type())
+	}
+	return false
+}
+
+// isRetryAfterSet matches <headers>.Set("Retry-After", ...) and Add.
+func isRetryAfterSet(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Set" && sel.Sel.Name != "Add") || len(call.Args) < 1 {
+		return false
+	}
+	tv := pass.TypesInfo.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	v, err := strconv.Unquote(tv.Value.ExactString())
+	return err == nil && v == "Retry-After"
+}
+
+// isOverloadStatus reports uses of http.StatusTooManyRequests or
+// http.StatusServiceUnavailable.
+func isOverloadStatus(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return false
+	}
+	return obj.Name() == "StatusTooManyRequests" || obj.Name() == "StatusServiceUnavailable"
+}
+
+// isResponseWriter reports whether t is net/http.ResponseWriter.
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}

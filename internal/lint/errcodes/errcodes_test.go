@@ -1,0 +1,12 @@
+package errcodes_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/errcodes"
+)
+
+func TestErrcodes(t *testing.T) {
+	analysistest.Run(t, "../testdata", errcodes.Analyzer, "errcodes")
+}

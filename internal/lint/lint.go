@@ -1,0 +1,27 @@
+// Package lint assembles the fadinglint analyzer suite: the compile-time
+// enforcement of the repository's determinism, canonical-hash, lock-
+// discipline, zero-allocation and error-contract invariants. Run it
+// standalone (go run ./cmd/fadinglint ./...) or through the toolchain
+// (go vet -vettool=$(which fadinglint) ./...). docs/linting.md catalogs each
+// analyzer, its rationale and its directive syntax.
+package lint
+
+import (
+	"repro/internal/lint/allocfree"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/canonfields"
+	"repro/internal/lint/detrand"
+	"repro/internal/lint/errcodes"
+	"repro/internal/lint/shardlock"
+)
+
+// Analyzers returns the full fadinglint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		canonfields.Analyzer,
+		shardlock.Analyzer,
+		allocfree.Analyzer,
+		errcodes.Analyzer,
+	}
+}

@@ -1,0 +1,167 @@
+// Package load type-checks Go packages for the fadinglint analyzers without
+// golang.org/x/tools: it shells out to `go list -export` for the build graph
+// and compiled export data, parses the target packages' sources, and runs the
+// standard type checker with a gc-export-data importer. The result is the
+// (Fset, Files, Types, Info) quadruple an analysis.Pass needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// ImportPath is the package's canonical import path.
+	ImportPath string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset maps the positions of Files.
+	Fset *token.FileSet
+	// Files is the parsed syntax, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's results.
+	Info *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	ImportMap  map[string]string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks the packages matching the given `go list`
+// patterns. Test files are not loaded (the `go vet -vettool` path covers
+// them); dependencies are consumed as compiled export data, never re-checked.
+func Packages(patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,ImportMap,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %v: %w\n%s", patterns, err, stderr.Bytes())
+	}
+
+	var targets []*listPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if p.Error != nil || p.Incomplete {
+			msg := "incomplete package"
+			if p.Error != nil {
+				msg = p.Error.Err
+			}
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, msg)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			p := p
+			targets = append(targets, &p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	// One shared gc importer: export data of a dependency is read once even
+	// when many targets import it.
+	gcImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, gcImp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one target package.
+func check(fset *token.FileSet, gcImp types.Importer, t *listPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(t.GoFiles))
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := t.ImportMap[path]; ok {
+				path = mapped
+			}
+			return gcImp.Import(path)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every result map the analyzers read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

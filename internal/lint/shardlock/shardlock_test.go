@@ -1,0 +1,12 @@
+package shardlock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/shardlock"
+)
+
+func TestShardlock(t *testing.T) {
+	analysistest.Run(t, "../testdata", shardlock.Analyzer, "shardlock")
+}

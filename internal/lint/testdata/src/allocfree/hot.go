@@ -1,0 +1,56 @@
+// Package allocfree exercises the allocfree analyzer.
+package allocfree
+
+import "fmt"
+
+var sink []float64
+
+type point struct{ x, y float64 }
+
+func report(v interface{}) { _ = v }
+
+// hot is the annotated hot path: every allocation idiom below is a finding,
+// except the cold error return.
+//
+// fadinglint:allocfree
+func hot(dst, src []float64, name string) error {
+	if len(dst) != len(src) {
+		// Cold error path: exercised never in steady state, exempt.
+		return fmt.Errorf("shape mismatch for %q", name)
+	}
+	msg := fmt.Sprintf("run %s", name) // want `fmt.Sprintf in allocfree function allocates`
+	_ = msg
+	buf := make([]float64, len(src)) // want `make in allocfree function allocates`
+	copy(buf, src)
+	sink = append(sink, src...)       // want `append in allocfree function may grow its backing array`
+	pair := []float64{src[0], src[1]} // want `slice literal in allocfree function allocates`
+	_ = pair
+	box := &point{x: src[0]} // want `address-of composite literal in allocfree function escapes`
+	_ = box
+	cb := func() {} // want `function literal in allocfree function may capture`
+	cb()
+	label := name + "!" // want `string concatenation in allocfree function allocates`
+	_ = label
+	raw := []byte(name) // want `conversion between string and byte/rune slice in allocfree function`
+	_ = raw
+	report(src[0]) // want `float64 value boxed into interface parameter allocates`
+	var acc interface{}
+	acc = src[1] // want `float64 value boxed into interface allocates`
+	_ = acc
+	for i := range dst {
+		dst[i] = src[i] * 2
+	}
+	return nil
+}
+
+// warm allocates once at construction time; the directive records why that
+// is fine.
+//
+// fadinglint:allocfree
+func warm(n int) []float64 {
+	//lint:allow allocfree one-time construction, not the steady state
+	return make([]float64, n)
+}
+
+// chill is unannotated: allocation idioms are no finding here.
+func chill() string { return fmt.Sprintf("%d", 1) }

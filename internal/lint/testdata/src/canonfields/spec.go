@@ -1,0 +1,43 @@
+// Package canonfields exercises the canonfields analyzer.
+package canonfields
+
+// Spec is a content-addressed specification: Canonical must fold in every
+// exported field.
+//
+// fadinglint:canon=Canonical
+type Spec struct {
+	Kind string
+	N    int
+	// Window is only reached through the tail helper: the analyzer follows
+	// same-package calls.
+	Window int
+	Label  string // want `Spec.Label is not referenced by canonical writer Canonical`
+	//lint:allow canonfields Comment is display-only metadata, never hashed
+	Comment string
+	scratch int // unexported: not part of the wire spec, ignored
+}
+
+// Canonical is the content encoding.
+func (s *Spec) Canonical() []byte {
+	b := []byte(s.Kind)
+	b = append(b, byte(s.N))
+	return append(b, s.tail()...)
+}
+
+func (s *Spec) tail() []byte {
+	return []byte{byte(s.Window)}
+}
+
+// Orphan names a writer that does not exist.
+//
+// fadinglint:canon=Missing
+type Orphan struct { // want `canonical writer "Missing" of Orphan not found in this package`
+	A int
+}
+
+// Bare carries a marker without a writer name.
+//
+// fadinglint:canon
+type Bare struct { // want `fadinglint:canon marker on Bare names no writer`
+	A int
+}

@@ -1,0 +1,45 @@
+// Package detrand exercises the detrand analyzer: wall clocks, global and
+// crypto randomness, environment reads and map-order dependence are banned.
+//
+// fadinglint:deterministic
+package detrand
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clocks() int64 {
+	t := time.Now()    // want `time.Now reads the wall clock`
+	d := time.Since(t) // want `time.Since reads the wall clock`
+	return t.UnixNano() + int64(d)
+}
+
+func globals() float64 {
+	return rand.Float64() // want `math/rand.Float64 draws from the shared global source`
+}
+
+func entropy(buf []byte) {
+	_, _ = crand.Read(buf) // want `crypto/rand.Read is irreproducible entropy`
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os.Getenv reads ambient process state`
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// seeded is the deterministic idiom: a locally constructed generator over an
+// explicit seed draws from no ambient state.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

@@ -1,0 +1,12 @@
+package detrand
+
+import "math"
+
+// fold is pure arithmetic: nothing for detrand to see.
+func fold(xs []float64) float64 {
+	acc := 0.0
+	for _, x := range xs {
+		acc += math.Sqrt(x * x)
+	}
+	return acc
+}

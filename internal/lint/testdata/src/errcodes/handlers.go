@@ -1,0 +1,42 @@
+// Package errcodes exercises the errcodes analyzer.
+//
+// fadinglint:errcodes
+package errcodes
+
+import "net/http"
+
+// writeErr is the typed {code,error} envelope helper; the marker licenses
+// its own WriteHeader call.
+//
+// fadinglint:errwriter
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(`{"code":"` + code + `","error":"` + msg + `"}`))
+}
+
+func plainText(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http.Error writes text/plain with no machine-readable code`
+}
+
+func rawStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNotFound) // want `WriteHeader\(404\) outside an errwriter function`
+}
+
+func good(w http.ResponseWriter) {
+	writeErr(w, http.StatusBadRequest, "bad_spec", "model has no type")
+}
+
+func overloadBad(w http.ResponseWriter) {
+	writeErr(w, 503, "shutting_down", "later") // want `overloadBad answers 429/503 without setting Retry-After`
+}
+
+func overloadGood(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusTooManyRequests, "session_limit", "table full")
+}
+
+func teapot(w http.ResponseWriter) {
+	//lint:allow errcodes the teapot easter egg predates the error contract
+	w.WriteHeader(http.StatusTeapot)
+}

@@ -1,0 +1,46 @@
+// Package shardlock exercises the shardlock analyzer.
+package shardlock
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	// guarded-by: mu
+	items map[string]int
+}
+
+func put(t *table, k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.items[k]++
+}
+
+func get(t *table) int {
+	return len(t.items) // want `items is guarded by "mu" but no mu.Lock\(\)/RLock\(\) precedes this access in get`
+}
+
+// size is a helper its callers invoke with t.mu held.
+//
+// fadinglint:holdslock mu
+func size(t *table) int { return len(t.items) }
+
+func seed(t *table) {
+	//lint:allow shardlock construction precedes publication
+	t.items = map[string]int{"a": 1}
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	// guarded-by: mu
+	n int
+}
+
+func read(g *gauge) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+func misread(g *gauge) int {
+	return g.n // want `n is guarded by "mu"`
+}

@@ -1,0 +1,190 @@
+// Package unitchecker implements the `go vet -vettool` side of fadinglint:
+// the driver protocol cmd/go speaks to a vet tool. cmd/go invokes the tool
+// once per package with a JSON config file naming the package's sources and
+// the compiled export data of its dependencies; the tool type-checks the
+// unit, runs its analyzers, prints findings to stderr and exits nonzero when
+// it found any. Two handshake flags precede analysis runs: -V=full prints an
+// identity line for the build cache, and -flags prints the tool's analyzer
+// flags as JSON (fadinglint has none).
+//
+// This is a stdlib-only reimplementation of the protocol served by
+// golang.org/x/tools/go/analysis/unitchecker, which the build image cannot
+// fetch. Facts are not supported — every fadinglint analyzer is
+// intra-package — so dependency .vetx files are written empty and never
+// read.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/checker"
+	"repro/internal/lint/load"
+)
+
+// Config is the JSON schema of the .cfg file cmd/go hands a vet tool. Field
+// names and meanings follow the x/tools unitchecker contract; fields the
+// fact-free fadinglint never reads are listed for decoding compatibility.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main handles one vet-tool invocation given its raw arguments (os.Args[1:])
+// and returns the process exit code: 0 clean, 1 findings or analysis
+// failure, 2 usage errors.
+func Main(progname string, args []string, analyzers []*analysis.Analyzer) int {
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		// cmd/go hashes this line into its build cache key; the content hash
+		// of the tool binary makes rebuilt analyzers invalidate cached vet
+		// results (the "devel" form requires a trailing buildID= field).
+		fmt.Printf("%s version devel buildID=%s\n", filepath.Base(progname), selfID())
+		return 0
+	case len(args) == 1 && args[0] == "-flags":
+		// cmd/go asks for the tool's flag schema to validate `go vet -x.y`
+		// style analyzer flags. fadinglint exposes none.
+		fmt.Println("[]")
+		return 0
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		findings, err := runUnit(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", filepath.Base(progname), err)
+			return 1
+		}
+		if len(findings) > 0 {
+			checker.Print(os.Stderr, findings)
+			return 1
+		}
+		return 0
+	}
+	return 2
+}
+
+// selfID returns a content hash of the running executable, or a constant
+// when the binary cannot be read (go vet then caches against that constant).
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// IsVetInvocation reports whether the arguments look like a cmd/go vet-tool
+// call rather than a standalone run.
+func IsVetInvocation(args []string) bool {
+	if len(args) != 1 {
+		return false
+	}
+	return args[0] == "-V=full" || args[0] == "-flags" || strings.HasSuffix(args[0], ".cfg")
+}
+
+// runUnit analyzes one package unit described by a cfg file.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) ([]checker.Finding, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	// Facts are unsupported, so a facts-only invocation has nothing to do
+	// beyond satisfying the protocol's output file.
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	gcImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := load.NewInfo()
+	tconf := &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			return gcImp.Import(path)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	return checker.Run(&checker.Target{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers)
+}
+
+// writeVetx satisfies the protocol's facts-output requirement with an empty
+// file.
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, nil, 0o666)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

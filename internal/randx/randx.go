@@ -122,6 +122,8 @@ func (r *RNG) NormalVector(n int, sigma2 float64) []float64 {
 // FillNormal fills dst with independent zero-mean Gaussian samples with
 // variance sigma2, drawing exactly the same sequence as NormalVector but
 // without allocating.
+//
+// fadinglint:allocfree
 func (r *RNG) FillNormal(dst []float64, sigma2 float64) {
 	std := math.Sqrt(sigma2)
 	for i := range dst {
@@ -147,6 +149,8 @@ func (r *RNG) ComplexNormalVector(n int, sigma2 float64) []complex128 {
 
 // FillComplexNormal fills dst with independent CN(0, sigma2) samples, drawing
 // exactly the same sequence as ComplexNormalVector but without allocating.
+//
+// fadinglint:allocfree
 func (r *RNG) FillComplexNormal(dst []complex128, sigma2 float64) {
 	std := math.Sqrt(sigma2 / 2)
 	for i := range dst {

@@ -37,7 +37,8 @@ type Manager struct {
 
 // managerShard is one independently locked slice of the session table.
 type managerShard struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// guarded-by: mu
 	sessions map[string]*Session
 }
 
@@ -59,6 +60,7 @@ func newManager(shards int, ttl time.Duration, max, freeList int, now func() tim
 		cache:    cache,
 	}
 	for i := range mgr.shards {
+		//lint:allow shardlock construction precedes publication; no other goroutine can hold the shard yet
 		mgr.shards[i].sessions = make(map[string]*Session)
 	}
 	return mgr

@@ -496,7 +496,11 @@ func errorCode(status int, err error) string {
 	}
 }
 
-// writeError sends a JSON error envelope carrying the stable error code.
+// writeError sends a JSON error envelope carrying the stable error code. It
+// is the one function licensed to write >=400 statuses directly; the errcodes
+// analyzer routes every other handler through it.
+//
+// fadinglint:errwriter
 func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

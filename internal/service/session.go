@@ -141,6 +141,8 @@ func (s *Session) closed() bool {
 // generateBlock produces block index into dst through a recycled cursor.
 // It is the service's generation hot path: with warmed free lists and a
 // power-of-two block length it performs no heap allocation.
+//
+// fadinglint:allocfree
 func (s *Session) generateBlock(index uint64, dst *rayleigh.Block) error {
 	var cur *rayleigh.Cursor
 	select {

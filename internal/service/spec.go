@@ -58,6 +58,13 @@ func (l Limits) withDefaults() Limits {
 // (eq22/identity/explicit/exponential/constant/spectral/spatial, see
 // internal/chanspec), so a channel calibrated in scenarios/ can be served
 // verbatim.
+//
+// Every exported field that shapes the generated stream must be folded into
+// setupKey (the setup-cache content address); the canonfields analyzer
+// enforces this, so adding a spec field without hashing it fails the lint
+// run instead of aliasing distinct channels in the cache.
+//
+// fadinglint:canon=setupKey
 type SessionSpec struct {
 	// Model selects and parameterizes the correlation model.
 	Model chanspec.Model `json:"model"`
@@ -70,6 +77,7 @@ type SessionSpec struct {
 	// byte-identical streams, on any server, at any worker count.
 	Seed int64 `json:"seed"`
 	// Blocks is the total length of the session's stream in blocks.
+	//lint:allow canonfields Blocks bounds the served range, not the stream; sessions of different lengths share one setup artifact
 	Blocks int `json:"blocks"`
 	// IDFTPoints is the block length M in samples; zero selects the paper's
 	// 4096. Powers of two keep the per-block hot path allocation-free.
