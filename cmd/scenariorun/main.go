@@ -12,12 +12,15 @@
 //	go run ./cmd/scenariorun -all -json out.json -md out.md
 //
 // Exit codes: 0 all gates passed, 1 at least one gate failed, 2 bad usage or
-// spec/config error.
+// spec/config error. Failures are summarized per scenario with the first
+// failed gate and check, so the CI log names the broken assertion without
+// digging through the markdown report.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,35 +30,43 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scenariorun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dir      = flag.String("dir", "scenarios", "scenario spec directory")
-		all      = flag.Bool("all", false, "run every scenario")
-		runMatch = flag.String("run", "", "run scenarios whose name or tags contain this substring")
-		list     = flag.Bool("list", false, "list scenarios and exit")
-		methods  = flag.Bool("methods", false, "list the generation backends specs can name and exit")
-		jsonOut  = flag.String("json", "", "write the JSON report to this file")
-		mdOut    = flag.String("md", "", "write the markdown report to this file")
-		quiet    = flag.Bool("q", false, "suppress the markdown report on stdout")
+		dir      = fs.String("dir", "scenarios", "scenario spec directory")
+		all      = fs.Bool("all", false, "run every scenario")
+		runMatch = fs.String("run", "", "run scenarios whose name or tags contain this substring")
+		list     = fs.Bool("list", false, "list scenarios and exit")
+		methods  = fs.Bool("methods", false, "list the generation backends specs can name and exit")
+		jsonOut  = fs.String("json", "", "write the JSON report to this file")
+		mdOut    = fs.String("md", "", "write the markdown report to this file")
+		quiet    = fs.Bool("q", false, "suppress the markdown report on stdout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *methods {
 		for _, m := range chanspec.Methods() {
-			fmt.Printf("%-18s %s — %s\n", m.Name, m.Title, m.Citation)
-			fmt.Printf("%-18s   constraints: %s\n", "", m.Constraints)
+			fmt.Fprintf(stdout, "%-18s %s — %s\n", m.Name, m.Title, m.Citation)
+			fmt.Fprintf(stdout, "%-18s   constraints: %s\n", "", m.Constraints)
 			if m.Defects != "" {
-				fmt.Printf("%-18s   defects: %s\n", "", m.Defects)
+				fmt.Fprintf(stdout, "%-18s   defects: %s\n", "", m.Defects)
 			}
 		}
-		return
+		return 0
 	}
 
 	specs, err := scenario.LoadDir(*dir)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	if len(specs) == 0 {
-		fatal(fmt.Errorf("no scenario specs in %s", *dir))
+		return fatal(stderr, fmt.Errorf("no scenario specs in %s", *dir))
 	}
 
 	if *list {
@@ -64,23 +75,27 @@ func main() {
 			if len(s.Tags) > 0 {
 				tags = " [" + strings.Join(s.Tags, ", ") + "]"
 			}
-			fmt.Printf("%-36s%s  %s\n", s.Name, tags, s.Description)
+			fmt.Fprintf(stdout, "%-36s%s  %s\n", s.Name, tags, s.Description)
 		}
-		return
+		return 0
 	}
 
 	selected := filter(specs, *all, *runMatch)
 	if len(selected) == 0 {
-		fatal(fmt.Errorf("no scenarios selected; use -all, -list, or -run <substring>"))
+		return fatal(stderr, fmt.Errorf("no scenarios selected; use -all, -list, or -run <substring>"))
 	}
 
 	results := make([]*scenario.Result, 0, len(selected))
 	for _, s := range selected {
 		res, err := scenario.Run(s)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
-		fmt.Fprintf(os.Stderr, "scenariorun: %-36s %s\n", s.Name, status(res.Passed))
+		line := status(res.Passed)
+		if !res.Passed {
+			line += " (" + failureDetail(res) + ")"
+		}
+		fmt.Fprintf(stderr, "scenariorun: %-36s %s\n", s.Name, line)
 		results = append(results, res)
 	}
 	report := scenario.NewReport(results)
@@ -88,26 +103,52 @@ func main() {
 	if *jsonOut != "" {
 		data, err := report.JSON()
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 		if err := writeFile(*jsonOut, data); err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 	}
 	md := report.Markdown()
 	if *mdOut != "" {
 		if err := writeFile(*mdOut, []byte(md)); err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 	}
 	if !*quiet {
-		fmt.Print(md)
+		fmt.Fprint(stdout, md)
 	}
 	if !report.AllPassed() {
-		fmt.Fprintf(os.Stderr, "scenariorun: %d of %d scenarios FAILED\n", report.Failed, report.Total)
-		os.Exit(1)
+		for _, res := range results {
+			if !res.Passed {
+				fmt.Fprintf(stderr, "scenariorun: FAIL %s: %s\n", res.Name, failureDetail(res))
+			}
+		}
+		fmt.Fprintf(stderr, "scenariorun: %d of %d scenarios FAILED\n", report.Failed, report.Total)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "scenariorun: all %d scenarios passed\n", report.Total)
+	fmt.Fprintf(stderr, "scenariorun: all %d scenarios passed\n", report.Total)
+	return 0
+}
+
+// failureDetail names the first failed gate and check of a failed result —
+// "psd_forcing: num_clamped 0 >= 1" — so the one-line summary says which
+// assertion broke, not just which scenario.
+func failureDetail(res *scenario.Result) string {
+	for _, g := range res.Gates {
+		if g.Passed {
+			continue
+		}
+		for _, c := range g.Checks {
+			if !c.Passed {
+				return fmt.Sprintf("%s: %s %.6g %s %.6g", g.Type, c.Name, c.Observed, c.Op, c.Limit)
+			}
+		}
+		// A gate can fail without a failing scalar check (e.g. a comparison
+		// row with an unexpected outcome); name the gate at least.
+		return g.Type
+	}
+	return "unknown gate"
 }
 
 // filter selects the scenarios to run: all of them, or those whose name or
@@ -158,7 +199,7 @@ func writeFile(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "scenariorun: %v\n", err)
-	os.Exit(2)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "scenariorun: %v\n", err)
+	return 2
 }

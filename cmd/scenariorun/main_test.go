@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/scenario"
@@ -51,5 +55,140 @@ func TestFilterByTag(t *testing.T) {
 	got := filter(specs, false, "ofdm")
 	if len(got) != 1 || got[0].Name != "a" {
 		t.Errorf("tag filter returned %v", names(got))
+	}
+}
+
+// passingSpec is a cheap deterministic scenario: an identity target never
+// clamps, so the exact psd_forcing gate passes, and into_identity is a pure
+// bit-identity check.
+const passingSpec = `{
+  "name": "exitcode-pass",
+  "seed": 7,
+  "model": {"type": "identity", "n": 2},
+  "generation": {"mode": "snapshot", "draws": 8},
+  "assertions": [
+    {"type": "psd_forcing", "max_clamped": 0},
+    {"type": "into_identity"}
+  ]
+}`
+
+// failingSpec demands at least one clamped eigenvalue from the same identity
+// target — deterministically false, so the run always fails its gate.
+const failingSpec = `{
+  "name": "exitcode-fail",
+  "seed": 7,
+  "model": {"type": "identity", "n": 2},
+  "generation": {"mode": "snapshot", "draws": 8},
+  "assertions": [
+    {"type": "psd_forcing", "min_clamped": 1}
+  ]
+}`
+
+func writeSpecDir(t *testing.T, specs map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range specs {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestRunExitCodes is the exit-code contract table: 0 all gates pass, 1 a
+// gate failed (and the summary names the failed assertion, not just the
+// scenario), 2 usage or spec errors.
+func TestRunExitCodes(t *testing.T) {
+	passDir := writeSpecDir(t, map[string]string{"pass.json": passingSpec})
+	failDir := writeSpecDir(t, map[string]string{"pass.json": passingSpec, "fail.json": failingSpec})
+
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStderr []string
+	}{
+		{
+			name:     "all-pass",
+			args:     []string{"-dir", passDir, "-all", "-q"},
+			wantCode: 0,
+			wantStderr: []string{
+				"all 1 scenarios passed",
+			},
+		},
+		{
+			name:     "gate-failure-names-assertion",
+			args:     []string{"-dir", failDir, "-all", "-q"},
+			wantCode: 1,
+			wantStderr: []string{
+				"FAIL exitcode-fail: psd_forcing: clamped eigenvalues 0 >= 1",
+				"1 of 2 scenarios FAILED",
+			},
+		},
+		{
+			name:       "bad-flag",
+			args:       []string{"-no-such-flag"},
+			wantCode:   2,
+			wantStderr: []string{"flag provided but not defined"},
+		},
+		{
+			name:       "missing-dir",
+			args:       []string{"-dir", filepath.Join(passDir, "nope"), "-all"},
+			wantCode:   2,
+			wantStderr: []string{"scenariorun:"},
+		},
+		{
+			name:       "no-selection",
+			args:       []string{"-dir", passDir},
+			wantCode:   2,
+			wantStderr: []string{"no scenarios selected"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.wantCode {
+				t.Fatalf("run(%v) = %d, want %d\nstderr:\n%s", tc.args, got, tc.wantCode, stderr.String())
+			}
+			for _, want := range tc.wantStderr {
+				if !strings.Contains(stderr.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+				}
+			}
+		})
+	}
+}
+
+// TestRunPerScenarioFailureLine pins the per-scenario progress line: a failed
+// scenario's PASS/FAIL line carries the failed gate and check inline.
+func TestRunPerScenarioFailureLine(t *testing.T) {
+	dir := writeSpecDir(t, map[string]string{"fail.json": failingSpec})
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-dir", dir, "-all", "-q"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run = %d, want 1", got)
+	}
+	if !strings.Contains(stderr.String(), "FAIL (psd_forcing: clamped eigenvalues 0 >= 1)") {
+		t.Errorf("progress line does not name the failed check:\n%s", stderr.String())
+	}
+}
+
+// TestRunWritesArtifacts covers the -json/-md artifact paths through run().
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := writeSpecDir(t, map[string]string{"pass.json": passingSpec})
+	out := t.TempDir()
+	jsonPath := filepath.Join(out, "sub", "report.json")
+	mdPath := filepath.Join(out, "report.md")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-dir", dir, "-all", "-q", "-json", jsonPath, "-md", mdPath}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d, want 0\nstderr:\n%s", got, stderr.String())
+	}
+	for _, p := range []string{jsonPath, mdPath} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("artifact %s: %v", p, err)
+		}
+		if !strings.Contains(string(data), "exitcode-pass") {
+			t.Errorf("artifact %s does not mention the scenario", p)
+		}
 	}
 }

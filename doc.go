@@ -135,6 +135,15 @@
 // fault and gate catalogs, determinism contract and the overload/retry
 // semantics they enforce are documented in docs/slo.md and docs/service.md.
 //
+// The spec vocabulary itself is swept by the corpus subsystem: cmd/corpusgen
+// expands committed plans (plans/) into hundreds of seeded scenario specs
+// plus targeted invalid ones, runs them through the scenario engine, and
+// replays them byte-for-byte against the streaming service ("go run
+// ./cmd/corpusgen replay -plan plans/corpus-full.json"); native fuzz targets
+// seeded from the committed smoke corpus (scenarios/corpus-smoke) gate
+// canonicalization idempotence and strict decoding. docs/corpus.md documents
+// the plan schema, the constraint matrix and the replay contract.
+//
 // The invariants behind all of the above — no ambient nondeterminism in
 // generation packages, canonical hashes covering every spec field,
 // lock-discipline on the sharded session table, allocation-free hot paths,

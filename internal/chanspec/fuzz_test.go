@@ -1,0 +1,86 @@
+package chanspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// addModelSeeds feeds every model embedded in the committed corpus-smoke
+// specs (valid and invalid alike) to the fuzzer, so the frontier starts from
+// real vocabulary instead of random bytes.
+func addModelSeeds(f *testing.F, dir string) {
+	f.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("seed dir %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		var spec struct {
+			Model json.RawMessage `json:"model"`
+		}
+		if json.Unmarshal(data, &spec) == nil && len(spec.Model) > 0 {
+			f.Add([]byte(spec.Model))
+		}
+	}
+}
+
+// FuzzCanonical gates the canonicalization contract the setup cache depends
+// on: for any strictly-decodable, valid model, Canonical must be a fixed
+// point — re-decoding the canonical bytes yields a model that validates and
+// canonicalizes to the same bytes. A violation means two requests for the
+// same channel could land on different cache keys (or worse, different
+// channels on the same key).
+func FuzzCanonical(f *testing.F) {
+	f.Add([]byte(`{"type": "eq22"}`))
+	f.Add([]byte(`{"type": "identity", "n": 4, "power": 2}`))
+	f.Add([]byte(`{"type": "exponential", "n": 3, "rho": 0.7, "phase_rad": 0.5}`))
+	f.Add([]byte(`{"type": "constant", "n": 4, "rho": -0.4}`))
+	f.Add([]byte(`{"type": "explicit", "covariance": [[1, [0.3, 0.1]], [[0.3, -0.1], 1]]}`))
+	f.Add([]byte(`{"type": "spectral", "n": 3, "carrier_spacing_hz": 2e5, "max_doppler_hz": 50, "rms_delay_spread_s": 1e-6, "delay_step_s": 1e-3}`))
+	f.Add([]byte(`{"type": "spatial", "n": 4, "spacing_wavelengths": 0.5, "angular_spread_rad": 0.1, "mean_angle_rad": 1.2}`))
+	f.Add([]byte(`{"type": "eq22", "fading": "rician", "params": {"k_factor": 4}}`))
+	f.Add([]byte(`{"type": "identity", "n": 2, "fading": "nakagami_m", "params": {"m": 1.5}}`))
+	f.Add([]byte(`{"type": "identity", "n": 2, "fading": "suzuki", "params": {"shadow_sigma_db": 4}}`))
+	f.Add([]byte(`{"type": "identity", "n": 2, "fading": "nonstationary_doppler", "params": {"segments": [{"blocks": 2, "normalized_doppler": 0.01}]}}`))
+	f.Add([]byte(`{"type": "identity", "n": 2, "fading": "rayleigh"}`))
+	addModelSeeds(f, filepath.Join("..", "..", "scenarios", "corpus-smoke", "specs"))
+	addModelSeeds(f, filepath.Join("..", "..", "scenarios", "corpus-smoke", "invalid"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var m Model
+		if dec.Decode(&m) != nil {
+			return
+		}
+		if m.Validate() != nil {
+			return
+		}
+		first := m.Canonical()
+
+		var m2 Model
+		dec2 := json.NewDecoder(bytes.NewReader(first))
+		dec2.DisallowUnknownFields()
+		if err := dec2.Decode(&m2); err != nil {
+			t.Fatalf("canonical bytes do not strictly decode: %v\ninput: %s\ncanonical: %s", err, data, first)
+		}
+		if err := m2.Validate(); err != nil {
+			t.Fatalf("canonical model fails Validate: %v\ninput: %s\ncanonical: %s", err, data, first)
+		}
+		second := m2.Canonical()
+		if !bytes.Equal(first, second) {
+			t.Fatalf("Canonical is not idempotent\ninput:  %s\nfirst:  %s\nsecond: %s", data, first, second)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package corpus
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chanspec"
+)
+
+// Corpus directory layout. A corpus directory is self-describing:
+//
+//	manifest.json    — plan identity, counts, per-file hashes
+//	sessions.json    — seed-zero session templates (the slolab churn pool)
+//	specs/<name>.json   — valid scenario specs (a scenariorun -dir target)
+//	invalid/<name>.json — raw invalid session bodies (the 400-path probes)
+//
+// specs/ holds nothing but scenario files so `scenariorun -dir <out>/specs`
+// runs the whole valid corpus; manifest.json and sessions.json live at the
+// root where the non-recursive loaders never see them.
+const (
+	// ManifestFile is the corpus manifest filename.
+	ManifestFile = "manifest.json"
+	// SessionsFile is the churn-template pool filename.
+	SessionsFile = "sessions.json"
+	// SpecsDir is the valid scenario subdirectory.
+	SpecsDir = "specs"
+	// InvalidDir is the invalid session-body subdirectory.
+	InvalidDir = "invalid"
+)
+
+// Entry kinds of the manifest.
+const (
+	// KindScenario marks a valid scenario spec under specs/.
+	KindScenario = "scenario"
+	// KindInvalid marks a raw invalid session body under invalid/.
+	KindInvalid = "invalid"
+)
+
+// ManifestEntry content-addresses one corpus file.
+type ManifestEntry struct {
+	// Name is the spec name (scenario name or invalid slug).
+	Name string `json:"name"`
+	// Kind is KindScenario or KindInvalid.
+	Kind string `json:"kind"`
+	// Class is the invalid entry's rejection class (invalid entries only).
+	Class string `json:"class,omitempty"`
+	// File is the path relative to the corpus root.
+	File string `json:"file"`
+	// Mode, Method and Fading summarize a scenario entry's axis draw.
+	Mode   string `json:"mode,omitempty"`
+	Method string `json:"method,omitempty"`
+	Fading string `json:"fading,omitempty"`
+	// Replayable marks scenario entries the live-replay engine can stream
+	// against a fadingd (realtime mode).
+	Replayable bool `json:"replayable,omitempty"`
+	// SHA256 is the hex SHA-256 of the file contents.
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest is the corpus index: which plan produced it, from which seed, and
+// the content hash of every file — the witness cmd/corpusgen's verify
+// subcommand byte-compares a regeneration against.
+type Manifest struct {
+	// Plan is the producing plan's name.
+	Plan string `json:"plan"`
+	// PlanSHA256 is the hex SHA-256 of the plan's canonical JSON encoding, so
+	// a drifted plan file is detected even when counts still line up.
+	PlanSHA256 string `json:"plan_sha256"`
+	// Seed is the plan seed the expansion used.
+	Seed int64 `json:"seed"`
+	// ValidCount, InvalidCount and SessionCount are the generated totals.
+	ValidCount   int `json:"valid_count"`
+	InvalidCount int `json:"invalid_count"`
+	SessionCount int `json:"session_count"`
+	// Entries lists every generated file in generation order.
+	Entries []ManifestEntry `json:"entries"`
+}
+
+// buildManifest assembles the manifest for a generated corpus.
+func buildManifest(p *Plan, c *Corpus) *Manifest {
+	planSum := sha256.Sum256(c.Plan.canonicalJSON())
+	m := &Manifest{
+		Plan:         p.Name,
+		PlanSHA256:   hex.EncodeToString(planSum[:]),
+		Seed:         p.Seed,
+		ValidCount:   len(c.Valid),
+		InvalidCount: len(c.Invalid),
+		SessionCount: len(c.Sessions),
+	}
+	for _, e := range c.Valid {
+		sum := sha256.Sum256(e.Data)
+		m.Entries = append(m.Entries, ManifestEntry{
+			Name:       e.Name,
+			Kind:       KindScenario,
+			File:       SpecsDir + "/" + e.Name + ".json",
+			Mode:       e.Spec.Generation.Mode,
+			Method:     chanspec.NormalizeMethod(e.Spec.Generation.Method),
+			Fading:     chanspec.NormalizeFading(e.Spec.Model.Fading),
+			Replayable: e.Session != nil,
+			SHA256:     hex.EncodeToString(sum[:]),
+		})
+	}
+	for _, e := range c.Invalid {
+		sum := sha256.Sum256(e.Data)
+		m.Entries = append(m.Entries, ManifestEntry{
+			Name:   e.Name,
+			Kind:   KindInvalid,
+			Class:  e.Class,
+			File:   InvalidDir + "/" + e.Name + ".json",
+			SHA256: hex.EncodeToString(sum[:]),
+		})
+	}
+	return m
+}
+
+// File is one corpus file: its path relative to the corpus root and its
+// exact contents.
+type File struct {
+	Path string
+	Data []byte
+}
+
+// Files returns every file of the corpus in deterministic order: manifest,
+// sessions, valid specs, invalid bodies. The listing IS the corpus — WriteDir
+// writes exactly these files and VerifyDir byte-compares against them.
+func (c *Corpus) Files() []File {
+	files := []File{
+		{Path: ManifestFile, Data: encodeJSON(c.Manifest)},
+		{Path: SessionsFile, Data: encodeJSON(sessionsOrEmpty(c))},
+	}
+	for _, e := range c.Valid {
+		files = append(files, File{Path: SpecsDir + "/" + e.Name + ".json", Data: e.Data})
+	}
+	for _, e := range c.Invalid {
+		files = append(files, File{Path: InvalidDir + "/" + e.Name + ".json", Data: e.Data})
+	}
+	return files
+}
+
+// sessionsOrEmpty keeps sessions.json a JSON array even when no entry is
+// replayable (nil would encode as "null").
+func sessionsOrEmpty(c *Corpus) any {
+	if len(c.Sessions) == 0 {
+		return []struct{}{}
+	}
+	return c.Sessions
+}
+
+// WriteDir materializes the corpus under dir, replacing the specs/ and
+// invalid/ subdirectories wholesale so stale files from an earlier expansion
+// cannot survive a regeneration.
+func (c *Corpus) WriteDir(dir string) error {
+	for _, sub := range []string{SpecsDir, InvalidDir} {
+		if err := os.RemoveAll(filepath.Join(dir, sub)); err != nil {
+			return fmt.Errorf("corpus: clean %s: %w", sub, err)
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(dir, SpecsDir), 0o755); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if len(c.Invalid) > 0 {
+		if err := os.MkdirAll(filepath.Join(dir, InvalidDir), 0o755); err != nil {
+			return fmt.Errorf("corpus: %w", err)
+		}
+	}
+	for _, f := range c.Files() {
+		if err := os.WriteFile(filepath.Join(dir, f.Path), f.Data, 0o644); err != nil {
+			return fmt.Errorf("corpus: %w", err)
+		}
+	}
+	return nil
+}
+
+// VerifyDir byte-compares a corpus directory against a generated corpus and
+// returns one line per difference: missing, changed or extra files. An empty
+// slice means dir is exactly the corpus — the determinism gate of
+// cmd/corpusgen's verify subcommand and the golden-corpus test.
+func VerifyDir(c *Corpus, dir string) ([]string, error) {
+	var diffs []string
+	expect := c.Files()
+	known := make(map[string]bool, len(expect))
+	for _, f := range expect {
+		known[f.Path] = true
+		got, err := os.ReadFile(filepath.Join(dir, f.Path))
+		if os.IsNotExist(err) {
+			diffs = append(diffs, "missing: "+f.Path)
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		if !bytes.Equal(got, f.Data) {
+			diffs = append(diffs, "changed: "+f.Path)
+		}
+	}
+	// Extra *.json files under the managed subdirectories would be loaded by
+	// scenariorun or the replay engine without appearing in the manifest;
+	// flag them. os.ReadDir sorts entries, so the report order is stable.
+	for _, sub := range []string{SpecsDir, InvalidDir} {
+		entries, err := os.ReadDir(filepath.Join(dir, sub))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		for _, ent := range entries {
+			if ent.IsDir() {
+				continue
+			}
+			rel := sub + "/" + ent.Name()
+			if !known[rel] {
+				diffs = append(diffs, "extra: "+rel)
+			}
+		}
+	}
+	return diffs, nil
+}

@@ -1,0 +1,114 @@
+package corpus
+
+import "fmt"
+
+// InvalidEntry is one targeted invalid fadingd session spec: a raw request
+// body the service must reject with HTTP 400 and a machine-readable
+// {code: "bad_spec"} error envelope.
+type InvalidEntry struct {
+	// Name is the corpus file slug (unique within the corpus).
+	Name string
+	// Class names the rejection the body targets (one of the invalidClasses
+	// template names).
+	Class string
+	// Data is the raw POST /v1/sessions body. It is deliberately NOT produced
+	// by marshalling a SessionSpec: several classes (unknown fields, trailing
+	// documents, out-of-vocabulary names) are unrepresentable in the typed
+	// spec and only exist at the wire layer.
+	Data []byte
+}
+
+// invalidClass is one invalid-spec template: a rejection class and the body
+// builder. The seed argument only fills the spec's seed field so bodies stay
+// distinct across cycles; it never changes which error fires.
+type invalidClass struct {
+	class string
+	body  func(seed int64) string
+}
+
+// invalidClasses enumerates the service's documented 400 paths: spec-layer
+// rejections (strict decoding, vocabulary, parameter ranges, the
+// trajectory-vs-normalized_doppler conflict) and construction-layer
+// rejections (baseline.ErrUnsupported, baseline.ErrSetupFailed), which the
+// service folds into the same 400 bad_spec envelope. Generation cycles this
+// list, so any plan with invalid ≥ len(invalidClasses) covers every class.
+func invalidClasses() []invalidClass {
+	return []invalidClass{
+		{"unknown-method", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 2}, "method": "gauss_markov", "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"unknown-fading", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 2, "fading": "weibull"}, "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"unknown-model-type", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "toeplitz", "n": 2}, "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"trajectory-doppler-conflict", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 2, "fading": "nonstationary_doppler", "params": {"segments": [{"blocks": 2, "normalized_doppler": 0.05}]}}, "seed": %d, "blocks": 4, "normalized_doppler": 0.05}`, seed)
+		}},
+		{"aliased-field", func(seed int64) string {
+			// "total_blocks" is not a spec field; strict decoding must reject
+			// the alias instead of silently serving a default-length stream.
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 2}, "seed": %d, "total_blocks": 4}`, seed)
+		}},
+		{"rician-missing-params", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 2, "fading": "rician"}, "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"nakagami-bad-m", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 2, "fading": "nakagami_m", "params": {"m": 0.2}}, "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"suzuki-bad-sigma", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 2, "fading": "suzuki", "params": {"shadow_sigma_db": -3}}, "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"segment-doppler-range", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 2, "fading": "nonstationary_doppler", "params": {"segments": [{"blocks": 2, "normalized_doppler": 0.9}]}}, "seed": %d, "blocks": 4}`, seed)
+		}},
+		{"blocks-zero", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 2}, "seed": %d, "blocks": 0}`, seed)
+		}},
+		{"model-n-zero", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "identity"}, "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"doppler-range", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 2}, "seed": %d, "blocks": 2, "normalized_doppler": 0.75}`, seed)
+		}},
+		{"eq22-bad-n", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "eq22", "n": 5}, "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"ragged-covariance", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "explicit", "covariance": [[1, 0.5, 0.2], [0.5, 1]]}, "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"unsupported-ertel-n3", func(seed int64) string {
+			// Ertel–Reed is a two-branch method: N = 3 is outside its
+			// vocabulary (baseline.ErrUnsupported at session construction).
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 3}, "method": "ertel_reed", "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"unsupported-salz-unequal", func(seed int64) string {
+			// Salz–Winters requires equal branch powers; a diagonal of (2, 1)
+			// is rejected as unsupported.
+			return fmt.Sprintf(`{"model": {"type": "explicit", "covariance": [[2, 0.5], [0.5, 1]]}, "method": "salz_winters", "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"setup-failed-cholesky", func(seed int64) string {
+			// ρ = −0.9 < −1/(N−1) makes the constant model indefinite; the
+			// Cholesky-based Beaulieu–Merani setup rejects it
+			// (baseline.ErrSetupFailed at session construction).
+			return fmt.Sprintf(`{"model": {"type": "constant", "n": 3, "rho": -0.9}, "method": "beaulieu_merani", "seed": %d, "blocks": 2}`, seed)
+		}},
+		{"trailing-data", func(seed int64) string {
+			return fmt.Sprintf(`{"model": {"type": "identity", "n": 2}, "seed": %d, "blocks": 2}`+"\n{}", seed)
+		}},
+	}
+}
+
+// drawInvalid produces invalid spec number i of the plan, cycling the class
+// templates. No RNG: invalid bodies are a pure function of (plan name, i), so
+// trimming the valid count never reshuffles them.
+func drawInvalid(p *Plan, i int) *InvalidEntry {
+	classes := invalidClasses()
+	c := classes[i%len(classes)]
+	return &InvalidEntry{
+		Name:  fmt.Sprintf("%s-invalid-%03d-%s", p.Name, i, c.class),
+		Class: c.class,
+		Data:  []byte(c.body(9000 + int64(i))),
+	}
+}

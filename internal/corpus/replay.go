@@ -1,0 +1,253 @@
+package corpus
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	rayleigh "repro"
+	"repro/internal/service"
+	"repro/internal/slolab"
+)
+
+// ReplayOptions shapes one replay pass.
+type ReplayOptions struct {
+	// Addr is the base URL of a live fadingd ("http://host:port"). Empty
+	// starts in-process servers instead, one per Workers entry.
+	Addr string
+	// Workers are the in-process server worker counts swept when Addr is
+	// empty (default 1 and 4: the sequential pool and a parallel one, so the
+	// byte-identity gate covers worker-count invariance).
+	Workers []int
+	// Limits bounds spec admission on both the engine path and the
+	// in-process servers; the zero value selects the service defaults.
+	Limits service.Limits
+}
+
+// ReplayReport is the outcome of one replay pass.
+type ReplayReport struct {
+	// Servers counts the server targets swept.
+	Servers int
+	// Replayed counts the replayable corpus entries streamed.
+	Replayed int
+	// Passes counts the live stream passes whose hash was compared against
+	// the engine reference (chunkings × resume points × servers).
+	Passes int
+	// Rejected counts the invalid bodies each server correctly answered with
+	// 400 {code: "bad_spec"}.
+	Rejected int
+	// Failures holds one line per contract violation: a hash mismatch, an
+	// invalid body not rejected as specified, or a replayable spec a server
+	// refused. Empty means the corpus replayed byte-identically.
+	Failures []string
+}
+
+// OK reports whether the pass found no violation.
+func (r *ReplayReport) OK() bool { return len(r.Failures) == 0 }
+
+// EngineSum computes the hex SHA-256 over the binary frames [from, blocks)
+// of the stream the service would serve for the session spec — the
+// in-process reference of the byte-identity gate. Frames are encoded with
+// the Gaussian payload, matching the replay client's requests.
+func EngineSum(sess *service.SessionSpec, limits service.Limits, from uint64) (string, error) {
+	stream, err := service.NewStreamFromSpec(sess, limits)
+	if err != nil {
+		return "", err
+	}
+	cur, err := stream.NewCursor()
+	if err != nil {
+		return "", err
+	}
+	var blk rayleigh.Block
+	var enc service.FrameEncoder
+	h := sha256.New()
+	for i := from; i < uint64(sess.Blocks); i++ {
+		if err := cur.BlockAt(i, &blk); err != nil {
+			return "", err
+		}
+		if _, err := enc.Encode(h, i, &blk, true); err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// replayServer is one replay target.
+type replayServer struct {
+	label string
+	base  string
+	close func()
+}
+
+// startServers resolves the replay targets: the live address when given,
+// else one in-process fadingd per worker count.
+func startServers(opts ReplayOptions) ([]replayServer, error) {
+	if opts.Addr != "" {
+		return []replayServer{{label: "live " + opts.Addr, base: opts.Addr, close: func() {}}}, nil
+	}
+	workers := opts.Workers
+	if len(workers) == 0 {
+		workers = []int{1, 4}
+	}
+	var out []replayServer
+	for _, w := range workers {
+		svc := service.New(service.Config{Workers: w, Limits: opts.Limits})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			svc.Close()
+			for _, s := range out {
+				s.close()
+			}
+			return nil, fmt.Errorf("corpus: listen: %w", err)
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln)
+		out = append(out, replayServer{
+			label: fmt.Sprintf("workers=%d", w),
+			base:  "http://" + ln.Addr().String(),
+			close: func() { srv.Close(); svc.Close() },
+		})
+	}
+	return out, nil
+}
+
+// Replay runs the corpus's byte-identity and 400-path gates against every
+// target: each replayable spec is streamed whole, in single-block chunks, in
+// uneven chunks, and resumed from the middle of the stream, and every pass
+// must hash to the engine reference computed in-process; each invalid body
+// must be answered with 400 {code: "bad_spec"} and a non-empty error. The
+// returned report lists every violation; transport-level failures (a server
+// that cannot be reached at all) surface as errors instead.
+func Replay(c *Corpus, opts ReplayOptions) (*ReplayReport, error) {
+	servers, err := startServers(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, s := range servers {
+			s.close()
+		}
+	}()
+
+	// The engine reference is a pure function of the spec: compute it once
+	// per entry, outside the server sweep.
+	type reference struct {
+		entry   *ValidEntry
+		body    []byte
+		full    string
+		resume  string
+		halfway uint64
+	}
+	var refs []reference
+	for _, e := range c.Valid {
+		if e.Session == nil {
+			continue
+		}
+		half := uint64(e.Session.Blocks) / 2
+		full, err := EngineSum(e.Session, opts.Limits, 0)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: engine reference for %s: %w", e.Name, err)
+		}
+		resume, err := EngineSum(e.Session, opts.Limits, half)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: engine reference for %s: %w", e.Name, err)
+		}
+		refs = append(refs, reference{entry: e, body: encodeJSON(e.Session), full: full, resume: resume, halfway: half})
+	}
+
+	report := &ReplayReport{Servers: len(servers), Replayed: len(refs)}
+	for _, srv := range servers {
+		client := slolab.NewClient(slolab.ClientConfig{Base: srv.base, Seed: 1})
+		for _, ref := range refs {
+			if err := replayOne(client, srv.label, ref.entry.Name, ref.body, ref.full, ref.resume, ref.halfway, report); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range c.Invalid {
+			checkInvalid(srv.base, srv.label, e, report)
+		}
+	}
+	return report, nil
+}
+
+// replayOne streams one session against one server under every chunking and
+// the mid-stream resume point, comparing each pass's hash against the engine
+// reference.
+func replayOne(client *slolab.Client, label, name string, body []byte, full, resume string, halfway uint64, report *ReplayReport) error {
+	info, _, err := client.Create(body)
+	if err != nil {
+		report.Failures = append(report.Failures,
+			fmt.Sprintf("%s: %s: create refused: %v", label, name, err))
+		return nil
+	}
+	defer client.Delete(info.ID)
+
+	blocks := info.Blocks
+	// Whole stream, one block per request, and a chunk size that splits the
+	// stream unevenly — the chunk boundaries are where resume bugs live.
+	for _, per := range []int{0, 1, int(blocks)/2 + 1} {
+		res, err := client.Stream(info, slolab.StreamOptions{Count: blocks, PerRequest: per, Gaussian: true})
+		if err != nil {
+			report.Failures = append(report.Failures,
+				fmt.Sprintf("%s: %s: stream per=%d: %v", label, name, per, err))
+			continue
+		}
+		report.Passes++
+		if res.Sum256 != full {
+			report.Failures = append(report.Failures,
+				fmt.Sprintf("%s: %s: hash mismatch per=%d: got %s want %s", label, name, per, res.Sum256, full))
+		}
+	}
+	if halfway > 0 {
+		res, err := client.Stream(info, slolab.StreamOptions{From: halfway, Gaussian: true})
+		if err != nil {
+			report.Failures = append(report.Failures,
+				fmt.Sprintf("%s: %s: stream from=%d: %v", label, name, halfway, err))
+			return nil
+		}
+		report.Passes++
+		if res.Sum256 != resume {
+			report.Failures = append(report.Failures,
+				fmt.Sprintf("%s: %s: resume hash mismatch from=%d: got %s want %s", label, name, halfway, res.Sum256, resume))
+		}
+	}
+	return nil
+}
+
+// checkInvalid POSTs one invalid body and checks the machine-readable
+// rejection contract: HTTP 400 with a {code: "bad_spec", error: …} envelope.
+func checkInvalid(base, label string, e *InvalidEntry, report *ReplayReport) {
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(e.Data))
+	if err != nil {
+		report.Failures = append(report.Failures,
+			fmt.Sprintf("%s: %s: post: %v", label, e.Name, err))
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		report.Failures = append(report.Failures,
+			fmt.Sprintf("%s: %s: status %d, want 400", label, e.Name, resp.StatusCode))
+		return
+	}
+	var envelope struct {
+		Code  string `json:"code"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		report.Failures = append(report.Failures,
+			fmt.Sprintf("%s: %s: unparseable error body %q", label, e.Name, bytes.TrimSpace(body)))
+		return
+	}
+	if envelope.Code != "bad_spec" || envelope.Error == "" {
+		report.Failures = append(report.Failures,
+			fmt.Sprintf("%s: %s: error envelope {code: %q, error: %q}, want code \"bad_spec\" and a message", label, e.Name, envelope.Code, envelope.Error))
+		return
+	}
+	report.Rejected++
+}

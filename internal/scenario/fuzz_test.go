@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// addSpecSeeds feeds every committed spec file in dir to the fuzzer so the
+// frontier starts from the real scenario vocabulary.
+func addSpecSeeds(f *testing.F, dir string) {
+	f.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("seed dir %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+}
+
+// FuzzSpecDecode gates the spec-loading frontier: Parse must never panic on
+// arbitrary bytes, and every spec it accepts must survive a marshal →
+// re-Parse round trip with the same canonical model — otherwise a spec
+// echoed through an artifact or the corpus generator would drift from the
+// channel it originally named.
+func FuzzSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"name": "seed", "seed": 1, "model": {"type": "eq22"}, "generation": {"mode": "snapshot", "draws": 8}, "assertions": [{"type": "psd_forcing", "max_clamped": 0}]}`))
+	f.Add([]byte(`{"name": "rt", "seed": 2, "model": {"type": "identity", "n": 2}, "generation": {"mode": "realtime", "blocks": 2, "idft_points": 64}, "assertions": [{"type": "into_identity"}]}`))
+	f.Add([]byte(`{"not": "a spec"}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	addSpecSeeds(f, filepath.Join("..", "..", "scenarios"))
+	addSpecSeeds(f, filepath.Join("..", "..", "scenarios", "corpus-smoke", "specs"))
+	addSpecSeeds(f, filepath.Join("..", "..", "scenarios", "corpus-smoke", "invalid"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v\ninput: %s", err, data)
+		}
+		spec2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("marshal of an accepted spec does not re-Parse: %v\ninput: %s\nmarshal: %s", err, data, out)
+		}
+		if spec2.Name != spec.Name || spec2.Seed != spec.Seed {
+			t.Fatalf("round trip changed identity: %q/%d -> %q/%d", spec.Name, spec.Seed, spec2.Name, spec2.Seed)
+		}
+		c1, c2 := spec.Model.Canonical(), spec2.Model.Canonical()
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("round trip changed the canonical model\ninput: %s\nfirst: %s\nsecond: %s", data, c1, c2)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+// 400-path coverage driven by the corpus generator's targeted invalid specs:
+// every invalid body a plan can emit must be rejected by the live HTTP
+// surface with 400 and the machine-readable {code, error} envelope. The test
+// lives in an external package because internal/corpus imports
+// internal/service.
+package service_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/service"
+)
+
+// TestCorpusInvalidSpecsRejectedWith400 POSTs every corpus-generated invalid
+// body and asserts the rejection contract on each: HTTP 400, a parseable
+// JSON envelope, code "bad_spec", and a non-empty message. The plan's
+// invalid count covers the full class cycle, so out-of-vocabulary names, the
+// trajectory-vs-normalized_doppler conflict, aliased fields, range errors
+// and the ErrUnsupported/ErrSetupFailed construction failures are all here.
+func TestCorpusInvalidSpecsRejectedWith400(t *testing.T) {
+	c, err := corpus.Generate(&corpus.Plan{Name: "svc", Seed: 3, Valid: 1, Invalid: 18})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(c.Invalid) != 18 {
+		t.Fatalf("generated %d invalid specs, want 18", len(c.Invalid))
+	}
+
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+
+	covered := map[string]bool{}
+	for _, e := range c.Invalid {
+		covered[e.Class] = true
+		t.Run(e.Class, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(string(e.Data)))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body: %s", resp.StatusCode, body)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Errorf("Content-Type %q, want application/json", ct)
+			}
+			var envelope struct {
+				Code  string `json:"code"`
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &envelope); err != nil {
+				t.Fatalf("error body is not the JSON envelope: %v; body: %s", err, body)
+			}
+			if envelope.Code != "bad_spec" {
+				t.Errorf("code %q, want \"bad_spec\"", envelope.Code)
+			}
+			if envelope.Error == "" {
+				t.Error("error message is empty")
+			}
+		})
+	}
+
+	// The issue's named 400 paths must all be in the cycle — a corpus that
+	// silently dropped one of these classes would hollow out this test.
+	for _, class := range []string{
+		"unknown-method", "unknown-fading", "trajectory-doppler-conflict",
+		"aliased-field", "unsupported-ertel-n3", "setup-failed-cholesky",
+	} {
+		if !covered[class] {
+			t.Errorf("invalid class %q not generated", class)
+		}
+	}
+}
+
+// TestCorpusValidSessionsAccepted is the control group: every replayable
+// session spec of a small corpus must be accepted by the same surface that
+// rejects the invalid ones (201, session info echoed).
+func TestCorpusValidSessionsAccepted(t *testing.T) {
+	c, err := corpus.Generate(&corpus.Plan{
+		Name: "svcok", Seed: 4, Valid: 4,
+		Axes:       corpus.Axes{Modes: []string{"realtime"}},
+		Generation: corpus.GenSizes{Blocks: 4, IDFTPoints: 128},
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	accepted := 0
+	for _, e := range c.Valid {
+		if e.Session == nil {
+			continue
+		}
+		body, err := json.Marshal(e.Session)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Errorf("%s: status %d, want 201; body: %s", e.Name, resp.StatusCode, respBody)
+			continue
+		}
+		accepted++
+	}
+	if accepted == 0 {
+		t.Error("no replayable session accepted")
+	}
+}

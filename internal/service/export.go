@@ -1,0 +1,43 @@
+package service
+
+import (
+	"fmt"
+	"io"
+
+	rayleigh "repro"
+)
+
+// NewStreamFromSpec validates a session spec against the given limits and
+// builds the deterministic Stream the service would serve for it — the same
+// construction path session creation uses, without the HTTP layer or the
+// setup cache. It exists for replay harnesses (internal/corpus) that need an
+// in-process reference for byte-identity comparisons against a live fadingd:
+// hashing this Stream's blocks through a FrameEncoder must reproduce the
+// served binary stream exactly.
+func NewStreamFromSpec(spec *SessionSpec, limits Limits) (*rayleigh.Stream, error) {
+	if err := spec.Validate(limits); err != nil {
+		return nil, err
+	}
+	return buildStream(spec)
+}
+
+// FrameEncoder serializes blocks into the service's binary wire framing
+// ("FDB1" magic, little-endian header, raw float64 payload — see
+// docs/service.md). It shares the implementation of the server's stream
+// encoder, so client-side replay hashes are computed from the same bytes the
+// server writes. The zero value is ready to use; the encoder owns reusable
+// scratch and is not safe for concurrent use.
+type FrameEncoder struct {
+	enc binaryEncoder
+}
+
+// Encode writes block index as one binary frame to w, with the complex
+// Gaussian payload appended when gaussian is set. It returns the frame size
+// in bytes.
+func (e *FrameEncoder) Encode(w io.Writer, index uint64, b *rayleigh.Block, gaussian bool) (int, error) {
+	n, err := e.enc.encode(w, index, b, gaussian)
+	if err != nil {
+		return n, fmt.Errorf("service: encode frame %d: %w", index, err)
+	}
+	return n, nil
+}

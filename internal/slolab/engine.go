@@ -1,10 +1,12 @@
 package slolab
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -213,6 +215,9 @@ type engine struct {
 	base    string
 	inProc  bool
 	clients []*labClient
+	// pool is the external spec_churn template pool (Fault.SpecFile); empty
+	// means cold creates reseed the scenario's own session template.
+	pool []service.SessionSpec
 }
 
 // Run executes one scenario end to end and returns its summary (gates
@@ -224,6 +229,13 @@ func Run(spec *Spec, opts RunOptions) (*Summary, error) {
 		return nil, err
 	}
 	e := &engine{spec: spec, opts: opts, base: opts.Addr, inProc: opts.Addr == ""}
+	if spec.Fault.SpecFile != "" {
+		pool, err := LoadSessionPool(spec.Fault.SpecFile)
+		if err != nil {
+			return nil, err
+		}
+		e.pool = pool
+	}
 
 	var svc *service.Server
 	var httpSrv *http.Server
@@ -347,6 +359,49 @@ func (e *engine) sessionJSON(seed int64) []byte {
 		panic(err)
 	}
 	return data
+}
+
+// poolJSON renders pool template i (cycling) with a concrete seed — the
+// spec_churn cold-create path when Fault.SpecFile supplies an external pool.
+func (e *engine) poolJSON(i int, seed int64) []byte {
+	spec := e.pool[i%len(e.pool)]
+	spec.Seed = seed
+	data, err := json.Marshal(&spec)
+	if err != nil {
+		// A validated template cannot fail to encode.
+		panic(err)
+	}
+	return data
+}
+
+// LoadSessionPool reads a JSON array of seed-zero session templates — the
+// sessions.json a corpus expansion emits — and validates each against the
+// service's default limits, so a pool problem fails the run up front instead
+// of surfacing as create errors folded into the fault metrics.
+func LoadSessionPool(path string) ([]service.SessionSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("slolab: session pool: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var pool []service.SessionSpec
+	if err := dec.Decode(&pool); err != nil {
+		return nil, fmt.Errorf("slolab: session pool %s: %w", path, err)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("slolab: session pool %s is empty: %w", path, ErrBadSpec)
+	}
+	for i := range pool {
+		if pool[i].Seed != 0 {
+			return nil, fmt.Errorf("slolab: session pool %s template %d carries seed %d, want 0: %w",
+				path, i, pool[i].Seed, ErrBadSpec)
+		}
+		if err := pool[i].Validate(service.Limits{}); err != nil {
+			return nil, fmt.Errorf("slolab: session pool %s template %d: %w", path, i, err)
+		}
+	}
+	return pool, nil
 }
 
 // runPhase executes one phase under wall-clock and (in-process) allocation
@@ -544,12 +599,19 @@ func (e *engine) runChurnPhase(name string, acc *phaseAccum) {
 			}
 			for i := 0; i < units; i++ {
 				// Warm iterations share one spec (setup-cache hits); cold
-				// spec_churn injection derives a unique seed per create.
+				// spec_churn injection derives a unique seed per create and —
+				// with an external pool — cycles through distinct templates.
 				seed := e.spec.Seed - 1
-				if inject && !connChurn {
+				cold := inject && !connChurn
+				if cold {
 					seed = e.spec.Seed + 1<<20 + int64(lc.idx*units+i)
 				}
-				specJSON := e.sessionJSON(seed)
+				var specJSON []byte
+				if cold && len(e.pool) > 0 {
+					specJSON = e.poolJSON(lc.idx*units+i, seed)
+				} else {
+					specJSON = e.sessionJSON(seed)
+				}
 				t0 := time.Now()
 				info, stats, err := cl.Create(specJSON)
 				acc.create.Record(time.Since(t0))

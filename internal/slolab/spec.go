@@ -207,6 +207,14 @@ type Fault struct {
 	// BlocksPerConn is how many blocks each conn_churn connection streams
 	// between create and delete; zero selects 4.
 	BlocksPerConn int `json:"blocks_per_conn,omitempty"`
+	// SpecFile points spec_churn at an external pool of seed-zero session
+	// templates — a JSON array, e.g. a corpus sessions.json (see
+	// docs/corpus.md): cold inject creates cycle through the pool instead of
+	// reseeding the scenario's single session template, so the setup-cache
+	// storm spans genuinely distinct specs. The path is resolved against the
+	// run's working directory (cmd/slorun runs from the repository root).
+	// Only valid with the spec_churn fault.
+	SpecFile string `json:"spec_file,omitempty"`
 	// ExtraSessions is how many doomed creates each saturate client fires
 	// during inject.
 	ExtraSessions int `json:"extra_sessions,omitempty"`
@@ -341,6 +349,10 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("slolab %q: fault has no type: %w", s.Name, ErrBadSpec)
 	default:
 		return fmt.Errorf("slolab %q: unknown fault type %q: %w", s.Name, s.Fault.Type, ErrBadSpec)
+	}
+	if s.Fault.SpecFile != "" && s.Fault.Type != FaultSpecChurn {
+		return fmt.Errorf("slolab %q: spec_file is only valid with the spec_churn fault (got %q): %w",
+			s.Name, s.Fault.Type, ErrBadSpec)
 	}
 	if len(s.Gates) == 0 {
 		return fmt.Errorf("slolab %q: no gates: %w", s.Name, ErrBadSpec)
