@@ -7,8 +7,10 @@
 //	    expand the plan and write the corpus directory
 //	corpusgen verify -plan plans/corpus-smoke.json -dir scenarios/corpus-smoke
 //	    regenerate from the plan and byte-compare against the directory
-//	corpusgen replay -plan plans/corpus-full.json [-addr http://host:port] [-workers 1,4]
-//	    run the byte-identity and 400-path gates against a live or in-process fadingd
+//	corpusgen replay -plan plans/corpus-full.json [-addr http://host:port] [-workers 1,4] [-token]
+//	    run the byte-identity and 400-path gates against a live or in-process
+//	    fadingd; -token additionally resumes every spec on a second in-process
+//	    server via its session token alone (docs/cluster.md)
 //	corpusgen list -plan plans/corpus-full.json
 //	    print the manifest entries the plan expands to
 //
@@ -135,6 +137,7 @@ func runReplay(args []string, stdout, stderr io.Writer) int {
 	plan := fs.String("plan", "", "corpus plan file (required)")
 	addr := fs.String("addr", "", "live fadingd base URL (default: in-process servers)")
 	workers := fs.String("workers", "1,4", "comma-separated in-process worker counts (ignored with -addr)")
+	tokenResume := fs.Bool("token", false, "also resume every spec on a second server via its session token only (in-process; see docs/cluster.md)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -142,7 +145,7 @@ func runReplay(args []string, stdout, stderr io.Writer) int {
 	if code != 0 {
 		return code
 	}
-	opts := corpus.ReplayOptions{Addr: *addr}
+	opts := corpus.ReplayOptions{Addr: *addr, TokenResume: *tokenResume}
 	for _, w := range strings.Split(*workers, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(w))
 		if err != nil || n < 1 {
@@ -156,8 +159,12 @@ func runReplay(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "corpusgen replay: %v\n", err)
 		return 2
 	}
-	fmt.Fprintf(stdout, "replayed %d specs against %d servers: %d byte-identity passes, %d invalid specs rejected\n",
-		report.Replayed, report.Servers, report.Passes, report.Rejected)
+	tokenNote := ""
+	if *tokenResume {
+		tokenNote = fmt.Sprintf(", %d token resumes", report.TokenResumes)
+	}
+	fmt.Fprintf(stdout, "replayed %d specs against %d servers: %d byte-identity passes, %d invalid specs rejected%s\n",
+		report.Replayed, report.Servers, report.Passes, report.Rejected, tokenNote)
 	if !report.OK() {
 		for _, f := range report.Failures {
 			fmt.Fprintln(stderr, f)

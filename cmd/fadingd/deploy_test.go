@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+)
+
+func TestRunDeploy(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := runDeploy([]string{"-replicas", "4", "-port", "9090", "-o", dir}, &out); err != nil {
+		t.Fatalf("runDeploy: %v", err)
+	}
+	read := func(name string) string {
+		t.Helper()
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		return string(b)
+	}
+
+	compose := read("docker-compose.yml")
+	for _, want := range []string{"fadingd-1:", "fadingd-4:", `"9090:80"`, "FADINGD_TOKEN_KEY", "deploy/Dockerfile"} {
+		if !strings.Contains(compose, want) {
+			t.Errorf("docker-compose.yml missing %q", want)
+		}
+	}
+	if strings.Contains(compose, "fadingd-5:") {
+		t.Error("docker-compose.yml has more replicas than requested")
+	}
+
+	nginx := read("nginx.conf")
+	for _, want := range []string{"upstream fadingd", "server fadingd-4:8080;", "proxy_buffering off;"} {
+		if !strings.Contains(nginx, want) {
+			t.Errorf("nginx.conf missing %q", want)
+		}
+	}
+
+	env := read(".env")
+	keyLine, found := "", false
+	for _, line := range strings.Split(env, "\n") {
+		if v, ok := strings.CutPrefix(line, "FADINGD_TOKEN_KEY="); ok {
+			keyLine, found = v, true
+		}
+	}
+	if !found {
+		t.Fatal(".env has no FADINGD_TOKEN_KEY line")
+	}
+	// The generated key must be a usable keyring.
+	if _, err := token.ParseKeyring(keyLine); err != nil {
+		t.Fatalf("generated key does not parse: %v", err)
+	}
+
+	if df := read("Dockerfile"); !strings.Contains(df, "cmd/fadingd") {
+		t.Error("Dockerfile does not build cmd/fadingd")
+	}
+	if !strings.Contains(out.String(), "4 replicas") {
+		t.Errorf("summary output %q does not mention replica count", out.String())
+	}
+}
+
+func TestRunDeployRejectsBadInputs(t *testing.T) {
+	if err := runDeploy([]string{"-replicas", "0", "-o", t.TempDir()}, &strings.Builder{}); err == nil {
+		t.Error("replicas=0 accepted")
+	}
+	if err := runDeploy([]string{"-token-key", "not-a-key", "-o", t.TempDir()}, &strings.Builder{}); err == nil {
+		t.Error("invalid -token-key accepted")
+	}
+}
+
+func TestLoadKeyring(t *testing.T) {
+	const keys = "k1:000102030405060708090a0b0c0d0e0f"
+	kr, err := loadKeyring(keys, "")
+	if err != nil || kr == nil || kr.SignerID() != "k1" {
+		t.Fatalf("loadKeyring(flag): kr=%v err=%v", kr, err)
+	}
+	// From file, with surrounding whitespace.
+	path := filepath.Join(t.TempDir(), "keys")
+	if err := os.WriteFile(path, []byte(" \n"+keys+"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	kr, err = loadKeyring("", path)
+	if err != nil || kr == nil || kr.SignerID() != "k1" {
+		t.Fatalf("loadKeyring(file): kr=%v err=%v", kr, err)
+	}
+	if kr, err = loadKeyring("", ""); err != nil || kr != nil {
+		t.Fatalf("loadKeyring(empty) must disable tokens: kr=%v err=%v", kr, err)
+	}
+	if _, err = loadKeyring(keys, path); err == nil {
+		t.Fatal("both flags set must be rejected")
+	}
+	if _, err = loadKeyring("", filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing key file must be rejected")
+	}
+	if _, err = loadKeyring("garbage", ""); err == nil {
+		t.Fatal("bad keyring must be rejected")
+	}
+}

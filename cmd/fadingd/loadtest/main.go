@@ -9,7 +9,12 @@
 // cache), reporting creates/s and create-latency percentiles for both and
 // the warm/cold speedup. Percentiles come from the same internal/slolab
 // sampler the SLO lab uses, so both tools digest latency identically
-// (nearest-rank, milliseconds).
+// (nearest-rank, milliseconds). Its scale mode (-replicas "1,2,4") measures
+// horizontal scaling instead: for each replica count it starts that many
+// token-sharing in-process replicas, creates sessions on the first one only
+// and streams round-robin across all of them via the session tokens,
+// reporting blocks/s, speedup and efficiency per point — the stateless
+// scale-out contract of docs/cluster.md under load.
 //
 // By default it starts an in-process fadingd on a loopback port, which
 // measures the service stack (session manager, worker pool, framing) without
@@ -19,7 +24,8 @@
 //
 //	loadtest [-addr http://host:port] [-sessions 4] [-duration 5s]
 //	         [-blocks-per-request 32] [-idft 1024] [-format bin]
-//	         [-workers N] [-churn] [-churn-n 24] [-o report.json]
+//	         [-workers N] [-churn] [-churn-n 24]
+//	         [-replicas 1,2,4] [-scale-blocks 96] [-o report.json]
 package main
 
 import (
@@ -33,6 +39,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,15 +52,17 @@ import (
 // options collects the flag values so the whole generator is drivable from
 // tests.
 type options struct {
-	addr     string
-	sessions int
-	duration time.Duration
-	perReq   int
-	idft     int
-	format   string
-	workers  int
-	churn    bool
-	churnN   int
+	addr        string
+	sessions    int
+	duration    time.Duration
+	perReq      int
+	idft        int
+	format      string
+	workers     int
+	churn       bool
+	churnN      int
+	replicas    string
+	scaleBlocks int
 }
 
 // report is the JSON document written at exit.
@@ -77,6 +87,10 @@ type report struct {
 	// cadence a consumer of the stream actually experiences.
 	BlockLatency *slolab.LatencySummary `json:"block_latency,omitempty"`
 	Churn        *churnReport           `json:"churn,omitempty"`
+	// Scaling is the -replicas mode's horizontal-scaling report: blocks/s,
+	// speedup and efficiency per replica count, measured by the same slolab
+	// sweep the horizontal-scaling SLO scenario gates.
+	Scaling *slolab.ScalingReport `json:"scaling,omitempty"`
 }
 
 // churnReport is the session-churn section: creates/s with every create
@@ -103,6 +117,8 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "in-process server pool size (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.churn, "churn", false, "measure session create/delete churn (cold vs warm setup cache) instead of streaming")
 	flag.IntVar(&o.churnN, "churn-n", 24, "envelope count of the churn-mode model (larger = heavier per-create setup)")
+	flag.StringVar(&o.replicas, "replicas", "", `measure horizontal scaling across these replica counts (e.g. "1,2,4"; ascending, starting at 1) instead of streaming`)
+	flag.IntVar(&o.scaleBlocks, "scale-blocks", 96, "measured blocks per session in -replicas mode")
 	out := flag.String("o", "", "also write the JSON report to this file")
 	flag.Parse()
 
@@ -124,10 +140,23 @@ func main() {
 	if o.churn && (r.Churn == nil || r.Churn.ColdCreates == 0 || r.Churn.WarmCreates == 0) {
 		log.Fatal("loadtest: churn phase created no sessions")
 	}
+	if o.replicas != "" && (r.Scaling == nil || len(r.Scaling.Points) == 0) {
+		log.Fatal("loadtest: scale mode measured no replica points")
+	}
 }
 
-// run executes one measurement (stream or churn mode) and returns the report.
+// run executes one measurement (stream, churn or scale mode) and returns the
+// report.
 func run(o options) (*report, error) {
+	if o.replicas != "" {
+		if o.addr != "" {
+			return nil, fmt.Errorf("-replicas starts its own in-process replicas and cannot be combined with -addr")
+		}
+		if o.churn {
+			return nil, fmt.Errorf("-replicas and -churn are mutually exclusive")
+		}
+		return runScale(o)
+	}
 	base := o.addr
 	inProcess := base == ""
 	if inProcess {
@@ -197,6 +226,78 @@ func run(o options) (*report, error) {
 		r.MBPerSec = float64(r.Bytes) / elapsed / (1 << 20)
 	}
 	return r, nil
+}
+
+// runScale measures horizontal scaling: it synthesizes a slolab scaling
+// sweep over the requested replica counts — the same harness the
+// horizontal-scaling SLO scenario gates — and reports its points. Warmup is
+// sized so every replica serves at least one request per session before the
+// clock starts (the one-time token rebuild and setup-cache fill).
+func runScale(o options) (*report, error) {
+	counts, err := parseReplicas(o.replicas)
+	if err != nil {
+		return nil, err
+	}
+	warm := o.perReq * counts[len(counts)-1]
+	blocks := o.scaleBlocks
+	if warm > blocks {
+		blocks = warm
+	}
+	var sess service.SessionSpec
+	sessJSON := fmt.Sprintf(`{"model": {"type": "eq22"}, "blocks": %d, "idft_points": %d}`, blocks, o.idft)
+	if err := json.Unmarshal([]byte(sessJSON), &sess); err != nil {
+		return nil, fmt.Errorf("scale session template: %w", err)
+	}
+	spec := &slolab.Spec{
+		Name:             "loadtest-scaling",
+		Seed:             1,
+		Clients:          o.sessions,
+		BlocksPerRequest: o.perReq,
+		Session:          sess,
+		Server:           slolab.ServerSpec{Workers: o.workers},
+		Phases: slolab.Phases{
+			Warmup: slolab.PhaseSpec{Units: warm},
+			Inject: slolab.PhaseSpec{Units: o.scaleBlocks},
+		},
+		Fault:   slolab.Fault{Type: slolab.FaultNone},
+		Scaling: &slolab.ScalingSpec{Replicas: counts},
+		// The generator measures; regression gating is the SLO scenario's
+		// job. A token floor of 0.01 only catches a collapsed sweep.
+		Gates: []slolab.GateSpec{{Type: slolab.GateScaling, MinSpeedup: 0.01}},
+	}
+	sum, err := slolab.Run(spec, slolab.RunOptions{
+		Logf: func(format string, args ...any) { log.Printf("loadtest: "+format, args...) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &report{
+		InProcess:        true,
+		Mode:             "scale",
+		Sessions:         o.sessions,
+		IDFTPoints:       o.idft,
+		BlocksPerRequest: o.perReq,
+		Scaling:          sum.Scaling,
+	}
+	for _, p := range sum.Scaling.Points {
+		r.Blocks += int64(p.Blocks)
+		r.Seconds += p.Seconds
+	}
+	return r, nil
+}
+
+// parseReplicas parses the -replicas list; ordering rules are enforced by
+// the slolab spec validation.
+func parseReplicas(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -replicas entry %q: %w", part, err)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 // churnSpec builds the churn-mode session spec: an N-envelope exponential

@@ -14,11 +14,20 @@
 //	        [-max-envelopes 64] [-max-blocks 1048576] [-max-idft 65536]
 //	        [-read-header-timeout 10s] [-read-timeout 1m] [-write-timeout 0]
 //	        [-idle-timeout 2m] [-create-timeout 30s]
+//	        [-token-key id:hexsecret[,id2:hexsecret...]] [-token-key-file path]
+//	        [-token-ttl 1h]
+//	fadingd deploy [-replicas 3] [-port 8080] [-o deploy]
 //
 // The timeout flags bound how long a client may hold a connection without
 // progress (slowloris defense) and how long one session create may spend in
 // spec setup; see the "Overload & retry semantics" section of docs/service.md
 // for the 429/503/Retry-After contract they feed.
+//
+// With -token-key (or -token-key-file), session creates return a signed
+// self-describing token and any replica sharing a verifying key serves any
+// block of the session — the stateless scale-out contract of docs/cluster.md.
+// The `deploy` verb emits a ready-to-run docker-compose recipe: N replicas
+// sharing a signing key behind a round-robin proxy.
 package main
 
 import (
@@ -30,13 +39,21 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/token"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "deploy" {
+		if err := runDeploy(os.Args[2:], os.Stdout); err != nil {
+			log.Fatalf("fadingd deploy: %v", err)
+		}
+		return
+	}
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "generation pool size (0 = GOMAXPROCS)")
@@ -61,8 +78,19 @@ func main() {
 		writeTimeout      = flag.Duration("write-timeout", 0, "max time to write a full response (0 = unlimited; finite values cut long streams)")
 		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests")
 		createTimeout     = flag.Duration("create-timeout", 30*time.Second, "max spec setup time per session create before 503 + Retry-After (0 = unlimited)")
+
+		// Session-token signing. One shared keyring turns a fleet of fadingd
+		// processes into interchangeable replicas (docs/cluster.md).
+		tokenKey     = flag.String("token-key", "", "session-token keyring, id:hexsecret[,id2:hexsecret...]; first key signs, all verify (empty disables tokens)")
+		tokenKeyFile = flag.String("token-key-file", "", "file holding the -token-key value (keeps secrets out of argv)")
+		tokenTTL     = flag.Duration("token-ttl", time.Hour, "session-token validity from mint time (negative = no expiry)")
 	)
 	flag.Parse()
+
+	keyring, err := loadKeyring(*tokenKey, *tokenKeyFile)
+	if err != nil {
+		log.Fatalf("fadingd: %v", err)
+	}
 
 	svc := service.New(service.Config{
 		Workers:       *workers,
@@ -73,6 +101,8 @@ func main() {
 		Shards:        *shards,
 		CacheSpecs:    *cacheSpecs,
 		CreateTimeout: *createTimeout,
+		Keyring:       keyring,
+		TokenTTL:      *tokenTTL,
 		Limits: service.Limits{
 			MaxEnvelopes:  *maxEnvelopes,
 			MaxBlocks:     *maxBlocks,
@@ -113,4 +143,27 @@ func main() {
 	}
 	svc.Close()
 	log.Printf("fadingd: bye")
+}
+
+// loadKeyring resolves the -token-key/-token-key-file pair into a keyring;
+// both empty means tokens stay disabled.
+func loadKeyring(keySpec, keyFile string) (*token.Keyring, error) {
+	if keyFile != "" {
+		if keySpec != "" {
+			return nil, errors.New("-token-key and -token-key-file are mutually exclusive")
+		}
+		data, err := os.ReadFile(keyFile)
+		if err != nil {
+			return nil, fmt.Errorf("read -token-key-file: %w", err)
+		}
+		keySpec = strings.TrimSpace(string(data))
+	}
+	if keySpec == "" {
+		return nil, nil
+	}
+	kr, err := token.ParseKeyring(keySpec)
+	if err != nil {
+		return nil, err
+	}
+	return kr, nil
 }

@@ -154,6 +154,12 @@ func printSummary(w io.Writer, sum *slolab.Summary) {
 		fmt.Fprintf(w, "  identity %d/%d matched after %d cuts, %d resumes\n",
 			sum.Identity.Matched, sum.Identity.Clients, sum.Identity.Cuts, sum.Identity.Resumes)
 	}
+	if sum.Scaling != nil {
+		for _, p := range sum.Scaling.Points {
+			fmt.Fprintf(w, "  replicas=%-2d %6d blocks %8.1f blk/s  speedup %.2f  efficiency %.2f  token rebuilds %d\n",
+				p.Replicas, p.Blocks, p.BlocksPerSec, p.Speedup, p.Efficiency, p.TokenRebuilds)
+		}
+	}
 	for _, g := range sum.Gates {
 		mark := "PASS"
 		if g.Skipped {

@@ -125,6 +125,18 @@
 // documented in docs/service.md; a load generator (with a session-churn
 // mode) lives in cmd/fadingd/loadtest.
 //
+// The service scales horizontally without shared state: every session
+// create returns a signed, self-describing token (internal/token) carrying
+// the full canonical spec, seed and blocks budget behind an HMAC, so any
+// replica holding the verifying key can rebuild the exact stream from the
+// token alone — the token is the source of truth and the session table is a
+// cache. "cmd/fadingd deploy" emits a docker-compose recipe for such a
+// fleet (committed under deploy/), the loadtest's -replicas mode and the
+// SLO lab's scaling sweep measure horizontal-scaling efficiency, and the
+// corpus replayer's -token mode proves byte-identical token-only resume for
+// every generated spec. The token format, key-rotation procedure and
+// statelessness contract are documented in docs/cluster.md.
+//
 // The service's behavior under faults — slow consumers, connection churn,
 // setup-cache miss storms, session-table saturation, connections killed
 // mid-stream — is held to explicit service-level objectives by the SLO lab:

@@ -1,0 +1,52 @@
+package chanspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestCanonicalizeIdempotent pins the property fadingd session tokens depend
+// on: canonicalizing a canonical model is the identity, and a canonical model
+// survives a JSON round trip with its content address intact. Without this,
+// a token minted from a token-rebuilt session could drift to a different
+// setup-cache address than the original.
+func TestCanonicalizeIdempotent(t *testing.T) {
+	models := []Model{
+		{Type: ModelEq22},
+		{Type: ModelEq22, N: 3},
+		{Type: ModelIdentity, N: 4},
+		{Type: ModelIdentity, N: 4, Power: 2.5},
+		{Type: ModelExponential, N: 3, Rho: 0.7, PhaseRad: 0.3},
+		{Type: ModelConstant, N: 5, Rho: 0.2},
+		{Type: ModelExplicit, Covariance: [][]Complex{{1, Complex(complex(0.5, 0.1))}, {Complex(complex(0.5, -0.1)), 1}}},
+		{Type: ModelSpectral, N: 2, CarrierSpacingHz: 1e4, MaxDopplerHz: 100, RMSDelaySpreadS: 1e-6, DelayStepS: 1e-7},
+		{Type: ModelSpatial, N: 2, SpacingWavelengths: 0.5, AngularSpreadRad: 0.1, MeanAngleRad: 1},
+		{Type: ModelEq22, Fading: FadingRician, Params: &FadingParams{KFactor: 4}},
+		{Type: ModelEq22, Fading: FadingNakagamiM, Params: &FadingParams{M: 2}},
+		{Type: ModelEq22, Fading: FadingSuzuki, Params: &FadingParams{ShadowSigmaDB: 4}},
+		{Type: ModelEq22, Fading: "rayleigh"},
+	}
+	for _, m := range models {
+		c := m.Canonicalize()
+		cc := c.Canonicalize()
+		if !bytes.Equal(c.Canonical(), m.Canonical()) {
+			t.Errorf("%+v: Canonicalize changes the canonical encoding", m)
+		}
+		if !bytes.Equal(cc.Canonical(), c.Canonical()) {
+			t.Errorf("%+v: Canonicalize is not idempotent:\n  once  %s\n  twice %s", m, c.Canonical(), cc.Canonical())
+		}
+		// JSON round trip of the canonical form preserves the address.
+		b, err := json.Marshal(&c)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Model
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !bytes.Equal(back.Canonical(), m.Canonical()) {
+			t.Errorf("%+v: canonical form does not survive a JSON round trip", m)
+		}
+	}
+}

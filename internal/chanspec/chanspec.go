@@ -121,6 +121,18 @@ func (c *Complex) UnmarshalJSON(b []byte) error {
 // to share generation state across sessions with equal specs. Models that
 // fail Validate are encoded raw.
 func (m *Model) Canonical() []byte {
+	c := m.Canonicalize()
+	// Model contains only marshal-safe fields, so encoding cannot fail.
+	b, _ := json.Marshal(&c)
+	return b
+}
+
+// Canonicalize returns the model's canonical value: the Model that Canonical
+// marshals. It is idempotent — Canonicalize of a canonical model is itself —
+// so round-tripping a canonical model through JSON and back yields the same
+// content address. fadingd session tokens embed specs in this form, which is
+// what lets two replicas that have never spoken agree on a spec's identity.
+func (m *Model) Canonicalize() Model {
 	c := Model{Type: m.Type, N: m.N, Power: m.Power}
 	if c.Power == 0 {
 		c.Power = 1
@@ -149,9 +161,7 @@ func (m *Model) Canonical() []byte {
 		c = *m
 	}
 	c.Fading, c.Params = canonicalFading(m.Fading, m.Params)
-	// Model contains only marshal-safe fields, so encoding cannot fail.
-	b, _ := json.Marshal(&c)
-	return b
+	return c
 }
 
 // Validate checks the model for structural consistency without touching any

@@ -13,6 +13,7 @@ import (
 	rayleigh "repro"
 	"repro/internal/service"
 	"repro/internal/slolab"
+	"repro/internal/token"
 )
 
 // ReplayOptions shapes one replay pass.
@@ -27,6 +28,13 @@ type ReplayOptions struct {
 	// Limits bounds spec admission on both the engine path and the
 	// in-process servers; the zero value selects the service defaults.
 	Limits service.Limits
+	// TokenResume additionally proves the stateless-cluster contract of
+	// docs/cluster.md over the corpus: every replayable spec is created on
+	// one in-process server and resumed — full range and from halfway — on a
+	// second server that shares only the signing key, via the session token
+	// alone. Each pass must hash to the same engine reference. In-process
+	// only (the sweep owns both servers), so incompatible with Addr.
+	TokenResume bool
 }
 
 // ReplayReport is the outcome of one replay pass.
@@ -41,6 +49,9 @@ type ReplayReport struct {
 	// Rejected counts the invalid bodies each server correctly answered with
 	// 400 {code: "bad_spec"}.
 	Rejected int
+	// TokenResumes counts the token-only cross-server passes whose hash
+	// matched the engine reference (TokenResume mode only).
+	TokenResumes int
 	// Failures holds one line per contract violation: a hash mismatch, an
 	// invalid body not rejected as specified, or a replayable spec a server
 	// refused. Empty means the corpus replayed byte-identically.
@@ -124,6 +135,9 @@ func startServers(opts ReplayOptions) ([]replayServer, error) {
 // returned report lists every violation; transport-level failures (a server
 // that cannot be reached at all) surface as errors instead.
 func Replay(c *Corpus, opts ReplayOptions) (*ReplayReport, error) {
+	if opts.TokenResume && opts.Addr != "" {
+		return nil, fmt.Errorf("corpus: token resume owns both servers and cannot target a live address")
+	}
 	servers, err := startServers(opts)
 	if err != nil {
 		return nil, err
@@ -136,13 +150,6 @@ func Replay(c *Corpus, opts ReplayOptions) (*ReplayReport, error) {
 
 	// The engine reference is a pure function of the spec: compute it once
 	// per entry, outside the server sweep.
-	type reference struct {
-		entry   *ValidEntry
-		body    []byte
-		full    string
-		resume  string
-		halfway uint64
-	}
 	var refs []reference
 	for _, e := range c.Valid {
 		if e.Session == nil {
@@ -172,7 +179,112 @@ func Replay(c *Corpus, opts ReplayOptions) (*ReplayReport, error) {
 			checkInvalid(srv.base, srv.label, e, report)
 		}
 	}
+	if opts.TokenResume {
+		if err := tokenResumeSweep(refs, opts.Limits, report); err != nil {
+			return nil, err
+		}
+	}
 	return report, nil
+}
+
+// reference is one replayable entry with its precomputed engine hashes.
+type reference struct {
+	entry   *ValidEntry
+	body    []byte
+	full    string
+	resume  string
+	halfway uint64
+}
+
+// replayTokenKeyring is the fixed signing keyring the token-resume pair
+// shares. A fixture, not a secret: both servers live on loopback for the
+// duration of the sweep.
+const replayTokenKeyring = "corpus:000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+
+// tokenResumeSweep creates every replayable spec on an origin server and
+// streams it on a second server that shares only the signing key — no
+// session table, no setup cache, nothing but the token — comparing every
+// pass against the engine reference. This is the corpus-wide version of the
+// cluster smoke test: the token must reconstruct each of the corpus's
+// channel specs byte-identically.
+func tokenResumeSweep(refs []reference, limits service.Limits, report *ReplayReport) error {
+	kr, err := token.ParseKeyring(replayTokenKeyring)
+	if err != nil {
+		return fmt.Errorf("corpus: token keyring: %w", err)
+	}
+	cfg := service.Config{Workers: 2, Limits: limits, Keyring: kr}
+	var pair []replayServer
+	for _, label := range []string{"token-origin", "token-resume"} {
+		svc := service.New(cfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			svc.Close()
+			for _, s := range pair {
+				s.close()
+			}
+			return fmt.Errorf("corpus: listen: %w", err)
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln)
+		pair = append(pair, replayServer{
+			label: label,
+			base:  "http://" + ln.Addr().String(),
+			close: func() { srv.Close(); svc.Close() },
+		})
+	}
+	defer func() {
+		for _, s := range pair {
+			s.close()
+		}
+	}()
+
+	origin := slolab.NewClient(slolab.ClientConfig{Base: pair[0].base, Seed: 2})
+	resume := slolab.NewClient(slolab.ClientConfig{Base: pair[1].base, Seed: 3})
+	for _, ref := range refs {
+		info, _, err := origin.Create(ref.body)
+		if err != nil {
+			report.Failures = append(report.Failures,
+				fmt.Sprintf("token-origin: %s: create refused: %v", ref.entry.Name, err))
+			continue
+		}
+		if info.Token == "" {
+			report.Failures = append(report.Failures,
+				fmt.Sprintf("token-origin: %s: create minted no token", ref.entry.Name))
+			origin.Delete(info.ID)
+			continue
+		}
+		passes := []struct {
+			from uint64
+			want string
+		}{{0, ref.full}}
+		if ref.halfway > 0 {
+			passes = append(passes, struct {
+				from uint64
+				want string
+			}{ref.halfway, ref.resume})
+		}
+		for _, p := range passes {
+			res, err := resume.Stream(info, slolab.StreamOptions{
+				From:     p.from,
+				Gaussian: true,
+				Token:    info.Token,
+			})
+			if err != nil {
+				report.Failures = append(report.Failures,
+					fmt.Sprintf("token-resume: %s: stream from=%d: %v", ref.entry.Name, p.from, err))
+				continue
+			}
+			if res.Sum256 != p.want {
+				report.Failures = append(report.Failures,
+					fmt.Sprintf("token-resume: %s: hash mismatch from=%d: got %s want %s",
+						ref.entry.Name, p.from, res.Sum256, p.want))
+				continue
+			}
+			report.TokenResumes++
+		}
+		origin.Delete(info.ID)
+	}
+	return nil
 }
 
 // replayOne streams one session against one server under every chunking and

@@ -58,6 +58,43 @@ func TestReplayByteIdentity(t *testing.T) {
 	}
 }
 
+// TestReplayTokenResume is the corpus-wide statelessness gate: every
+// replayable spec, created on one server, must stream byte-identically on a
+// second server that shares only the signing key — full range and from
+// halfway, via the session token alone.
+func TestReplayTokenResume(t *testing.T) {
+	c, err := Generate(replayPlan())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	report, err := Replay(c, ReplayOptions{Workers: []int{1}, TokenResume: true})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !report.OK() {
+		t.Fatalf("replay violations:\n%s", strings.Join(report.Failures, "\n"))
+	}
+	// One full pass plus one halfway resume per replayable spec (every plan
+	// spec streams more than one block, so halfway is always > 0).
+	if want := 2 * report.Replayed; report.TokenResumes != want {
+		t.Errorf("TokenResumes = %d, want %d", report.TokenResumes, want)
+	}
+	if report.Replayed != len(c.Valid) {
+		t.Errorf("Replayed = %d, want %d", report.Replayed, len(c.Valid))
+	}
+}
+
+// TestReplayTokenResumeRejectsLiveAddr pins the in-process-only contract.
+func TestReplayTokenResumeRejectsLiveAddr(t *testing.T) {
+	c, err := Generate(replayPlan())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if _, err := Replay(c, ReplayOptions{Addr: "http://127.0.0.1:1", TokenResume: true}); err == nil {
+		t.Fatal("token resume against a live address must fail")
+	}
+}
+
 // TestEngineSumDetectsSpecChange guards the reference itself: two sessions
 // differing only in seed must hash differently (a reference blind to the
 // spec would make every byte-identity comparison vacuous).

@@ -158,6 +158,64 @@ func (m *Manager) GetForStream(id string) (*Session, bool) {
 	return s, true
 }
 
+// AdoptForStream installs a token-rebuilt session under its original id and
+// returns it with a stream reference held (release with Session.endStream) —
+// the mechanism that turns the table into a cache: the token proved the
+// session exists, the table just remembers the rebuild. The stream is shared
+// through the setup cache, so re-adopting a channel any session already
+// carried here is O(1).
+//
+// The insert follows GetForStream's refcount discipline: the stream
+// reference is acquired under the shard lock before the session is
+// published, so a TTL sweep racing the adoption sees either no entry or a
+// pinned one — never an unpinned session it could evict mid-handshake. When
+// the table is full (even after an opportunistic sweep) the session is
+// served without being cached: a stateless replica under session pressure
+// degrades to per-request rebuilds instead of refusing resumes.
+func (m *Manager) AdoptForStream(id string, spec *SessionSpec) (*Session, error) {
+	if m.closed.Load() {
+		return nil, ErrShuttingDown
+	}
+	stream, err := m.cache.stream(spec)
+	if err != nil {
+		return nil, err
+	}
+	reserved := m.reserve()
+	if !reserved && m.trySweep() {
+		reserved = m.reserve()
+	}
+	s := newSessionWithID(id, spec, stream, m.freeList, m.now())
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	if exist, ok := sh.sessions[id]; ok {
+		// A concurrent resume (or the origin create) won the insert race;
+		// serve through the registered session.
+		exist.touch(m.now())
+		exist.streams.Add(1)
+		sh.mu.Unlock()
+		if reserved {
+			m.count.Add(-1)
+		}
+		return exist, nil
+	}
+	if m.closed.Load() {
+		sh.mu.Unlock()
+		if reserved {
+			m.count.Add(-1)
+		}
+		return nil, ErrShuttingDown
+	}
+	s.streams.Add(1)
+	if reserved {
+		sh.sessions[id] = s
+	}
+	sh.mu.Unlock()
+	if reserved {
+		m.metrics.sessionsAdopted.Add(1)
+	}
+	return s, nil
+}
+
 // Delete removes and closes a session, terminating its in-flight streams.
 // Unlike TTL eviction, an explicit delete is never deferred by active
 // streams: the client asked for the session to die.

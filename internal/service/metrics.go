@@ -16,7 +16,12 @@ type metrics struct {
 	sessionsCreated atomic.Int64
 	sessionsDeleted atomic.Int64
 	sessionsEvicted atomic.Int64
+	sessionsAdopted atomic.Int64
 	specsRejected   atomic.Int64
+
+	tokensIssued  atomic.Int64
+	tokenRebuilds atomic.Int64
+	tokenRejected atomic.Int64
 
 	specCacheHits   atomic.Int64
 	specCacheMisses atomic.Int64
@@ -48,8 +53,16 @@ func (m *metrics) write(w io.Writer, sessions, queue int, shardSizes []int, cach
 	fmt.Fprintf(w, "# TYPE fadingd_sessions_deleted_total counter\nfadingd_sessions_deleted_total %d\n", m.sessionsDeleted.Load())
 	fmt.Fprintf(w, "# HELP fadingd_sessions_evicted_total Sessions removed by TTL eviction.\n")
 	fmt.Fprintf(w, "# TYPE fadingd_sessions_evicted_total counter\nfadingd_sessions_evicted_total %d\n", m.sessionsEvicted.Load())
+	fmt.Fprintf(w, "# HELP fadingd_sessions_adopted_total Sessions rebuilt from tokens and cached in the table.\n")
+	fmt.Fprintf(w, "# TYPE fadingd_sessions_adopted_total counter\nfadingd_sessions_adopted_total %d\n", m.sessionsAdopted.Load())
 	fmt.Fprintf(w, "# HELP fadingd_specs_rejected_total Session specs rejected as invalid.\n")
 	fmt.Fprintf(w, "# TYPE fadingd_specs_rejected_total counter\nfadingd_specs_rejected_total %d\n", m.specsRejected.Load())
+	fmt.Fprintf(w, "# HELP fadingd_tokens_issued_total Session tokens minted in create/info responses.\n")
+	fmt.Fprintf(w, "# TYPE fadingd_tokens_issued_total counter\nfadingd_tokens_issued_total %d\n", m.tokensIssued.Load())
+	fmt.Fprintf(w, "# HELP fadingd_token_rebuilds_total Streams served by rebuilding a session from its token after a table miss.\n")
+	fmt.Fprintf(w, "# TYPE fadingd_token_rebuilds_total counter\nfadingd_token_rebuilds_total %d\n", m.tokenRebuilds.Load())
+	fmt.Fprintf(w, "# HELP fadingd_token_rejected_total Token resumes refused (expired, bad signature, unknown key, malformed).\n")
+	fmt.Fprintf(w, "# TYPE fadingd_token_rejected_total counter\nfadingd_token_rejected_total %d\n", m.tokenRejected.Load())
 	fmt.Fprintf(w, "# HELP fadingd_streams_started_total Stream requests accepted.\n")
 	fmt.Fprintf(w, "# TYPE fadingd_streams_started_total counter\nfadingd_streams_started_total %d\n", m.streamsStarted.Load())
 	fmt.Fprintf(w, "# HELP fadingd_streams_active Streams currently being served.\n")

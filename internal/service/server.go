@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/chanspec"
+	"repro/internal/token"
 )
 
 // Config tunes a Server; every zero field selects its default. Capacity
@@ -50,6 +51,17 @@ type Config struct {
 	CreateTimeout time.Duration
 	// Limits bounds what one spec may request.
 	Limits Limits
+	// Keyring signs session tokens on create and verifies them on resume,
+	// making every replica holding the same keys interchangeable: the token
+	// carries the full reconstruction tuple, so a resume landing on a replica
+	// that never saw the create rebuilds the stream locally (see
+	// docs/cluster.md). Nil disables tokens — no token in create responses,
+	// and stream resumes require a local table entry.
+	Keyring *token.Keyring
+	// TokenTTL bounds token validity from mint time; GET /v1/sessions/{id}
+	// re-issues a fresh token for live sessions. Zero selects 1h; negative
+	// disables expiry.
+	TokenTTL time.Duration
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -79,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSpecs == 0 {
 		c.CacheSpecs = 256
+	}
+	if c.TokenTTL == 0 {
+		c.TokenTTL = time.Hour
 	}
 	c.Limits = c.Limits.withDefaults()
 	if c.now == nil {
@@ -189,6 +204,10 @@ type sessionInfo struct {
 	ForcingError       float64 `json:"forcing_frobenius_error"`
 	// Spec echoes the accepted session spec.
 	Spec json.RawMessage `json:"spec"`
+	// Token is the signed self-describing resume token (present when the
+	// server has a signing keyring): any replica sharing a verifying key
+	// serves this session's blocks from it, table entry or not.
+	Token string `json:"token,omitempty"`
 }
 
 // ErrCreateTimeout reports a session create whose spec setup outran
@@ -282,7 +301,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) info(sess *Session) sessionInfo {
 	diag := sess.stream.Diagnostics()
-	return sessionInfo{
+	si := sessionInfo{
 		ID:                 sess.ID,
 		Method:             chanspec.NormalizeMethod(sess.Spec.Method),
 		Fading:             chanspec.NormalizeFading(sess.Spec.Model.Fading),
@@ -293,6 +312,15 @@ func (s *Server) info(sess *Session) sessionInfo {
 		ForcingError:       diag.ApproximationError,
 		Spec:               sess.Spec.canonical(),
 	}
+	if s.cfg.Keyring != nil {
+		// Sign cannot fail for a live session (valid id, bounded spec); a
+		// failure would only drop the token from the response.
+		if tok, err := s.mintToken(sess); err == nil {
+			si.Token = tok
+			s.metrics.tokensIssued.Add(1)
+		}
+	}
+	return si
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -351,8 +379,24 @@ const trailerBlocksSent = "X-Fadingd-Blocks-Sent"
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.manager.GetForStream(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("service: unknown session"))
-		return
+		// Local-table miss: the table is only a cache. A request carrying a
+		// valid signed token rebuilds the session from its canonical spec —
+		// byte-identical to the origin replica, because the stream is a pure
+		// function of the spec.
+		var err error
+		sess, err = s.resumeFromToken(r)
+		if err != nil {
+			if !errors.Is(err, errUnknownSession) {
+				s.metrics.tokenRejected.Add(1)
+			}
+			status := tokenErrorStatus(err)
+			if status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			}
+			writeError(w, status, err)
+			return
+		}
+		s.metrics.tokenRebuilds.Add(1)
 	}
 	// Closure, not a direct defer: the release must read the clock at stream
 	// end, and defer evaluates direct arguments at registration time.
@@ -482,6 +526,15 @@ func errorCode(status int, err error) string {
 		return "shutting_down"
 	case errors.Is(err, ErrCreateTimeout):
 		return "create_timeout"
+	case errors.Is(err, token.ErrExpired):
+		return "token_expired"
+	case errors.Is(err, token.ErrUnknownKey):
+		return "token_unknown_key"
+	case errors.Is(err, token.ErrVersion):
+		return "token_version"
+	case errors.Is(err, token.ErrBadSignature), errors.Is(err, token.ErrMalformed),
+		errors.Is(err, errTokensDisabled):
+		return "token_invalid"
 	case status == http.StatusNotFound:
 		return "not_found"
 	case status == http.StatusRequestedRangeNotSatisfiable:

@@ -62,11 +62,18 @@ type blockJob struct {
 // it should cover the worker count so a fully fanned-out session still
 // recycles.
 func newSession(spec *SessionSpec, stream *rayleigh.Stream, freeListSize int, now time.Time) *Session {
+	return newSessionWithID(newSessionID(), spec, stream, freeListSize, now)
+}
+
+// newSessionWithID is newSession under a caller-supplied id: the
+// token-rebuild path preserves the origin replica's id, so a session keeps
+// one name across the whole fleet.
+func newSessionWithID(id string, spec *SessionSpec, stream *rayleigh.Stream, freeListSize int, now time.Time) *Session {
 	if freeListSize < 1 {
 		freeListSize = 1
 	}
 	s := &Session{
-		ID:      newSessionID(),
+		ID:      id,
 		Spec:    *spec,
 		stream:  stream,
 		n:       stream.N(),

@@ -209,3 +209,13 @@ func (s *SessionSpec) canonical() json.RawMessage {
 	_ = enc.Encode(s)
 	return bytes.TrimSpace(buf.Bytes())
 }
+
+// tokenSpec returns the spec as embedded in session tokens: canonical JSON
+// with the Model itself canonicalized (defaults resolved, ignored parameters
+// dropped), so equivalent specs mint byte-identical token payloads and every
+// replica derives the same setup-cache address from them.
+func (s *SessionSpec) tokenSpec() []byte {
+	c := *s
+	c.Model = s.Model.Canonicalize()
+	return c.canonical()
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// errUnknownSession is the stream handler's 404: no table entry and no token
+// to rebuild from.
+var errUnknownSession = errors.New("service: unknown session")
+
+// errTokensDisabled reports a token-bearing resume on a replica with no
+// verification keys: the replica cannot tell a genuine token from a forged
+// one, so it refuses rather than trusts.
+var errTokensDisabled = errors.New("service: token resume requires verification keys (-token-key); this replica has none")
+
+// mintToken signs the session's self-describing resume token: any replica
+// holding a verifying key can rebuild the exact stream from it with no other
+// state. The embedded spec is canonical (model canonicalized, stable field
+// order), so equivalent specs mint byte-identical payloads on every replica.
+func (s *Server) mintToken(sess *Session) (string, error) {
+	spec := sess.Spec.tokenSpec()
+	t := &token.Token{
+		ID:       sess.ID,
+		SpecHash: sha256.Sum256(spec),
+		Spec:     spec,
+		Seed:     sess.Spec.Seed,
+		Blocks:   sess.Blocks(),
+	}
+	if ttl := s.cfg.TokenTTL; ttl > 0 {
+		t.Expiry = s.cfg.now().Add(ttl).Unix()
+	}
+	return s.cfg.Keyring.Sign(t)
+}
+
+// bearerToken extracts the resume token from Authorization: Bearer or the
+// ?token= query parameter (for clients that cannot set headers).
+func bearerToken(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if rest, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(rest)
+		}
+		return ""
+	}
+	return r.URL.Query().Get("token")
+}
+
+// resumeFromToken rebuilds a session this replica has never seen from the
+// request's signed token: verify, re-parse and re-validate the embedded
+// canonical spec, rebuild the Stream through the shared setup cache (an O(1)
+// cache hit when any session of the same channel passed through this
+// replica), and adopt the session into the table under its original id. The
+// returned session holds a stream reference; the caller releases it with
+// endStream.
+func (s *Server) resumeFromToken(r *http.Request) (*Session, error) {
+	raw := bearerToken(r)
+	if raw == "" {
+		return nil, errUnknownSession
+	}
+	if s.cfg.Keyring == nil {
+		return nil, errTokensDisabled
+	}
+	t, err := s.cfg.Keyring.Verify(raw, s.cfg.now())
+	if err != nil {
+		return nil, err
+	}
+	id := r.PathValue("id")
+	if t.ID != id {
+		// A valid token replayed under a different path id could poison this
+		// replica's table entry for that id; the binding check makes the
+		// token useless outside its own session.
+		return nil, fmt.Errorf("%w: token is for session %q, not %q", token.ErrMalformed, t.ID, id)
+	}
+	spec, err := ParseSpec(bytes.NewReader(t.Spec))
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(s.cfg.Limits); err != nil {
+		// This replica's limits may be tighter than the origin's; an honest
+		// bad_spec beats building a stream the operator forbade here.
+		return nil, err
+	}
+	if spec.Seed != t.Seed || uint64(spec.Blocks) != t.Blocks {
+		return nil, fmt.Errorf("%w: token seed/blocks disagree with embedded spec", token.ErrMalformed)
+	}
+	return s.manager.AdoptForStream(id, spec)
+}
+
+// tokenErrorStatus maps resume failures to statuses: absent token is the
+// plain 404 of an unknown session, authentication failures are 401, a spec or
+// version this build cannot serve is 400, shutdown is 503.
+func tokenErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, errUnknownSession):
+		return http.StatusNotFound
+	case errors.Is(err, token.ErrVersion), errors.Is(err, ErrBadSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnauthorized
+	}
+}

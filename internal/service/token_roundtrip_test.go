@@ -1,0 +1,54 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTokenSpecRoundTrip is the canonical-spec ↔ token contract: for every
+// model family, the spec embedded in a token re-parses, re-validates, derives
+// the same setup-cache content address as the original (so rebuilt sessions
+// share setup artifacts with locally created ones), and re-canonicalizes to
+// the same bytes (so a token minted from a rebuilt session is payload-
+// identical to the original).
+func TestTokenSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		`{"model":{"type":"eq22"},"seed":1,"blocks":4}`,
+		`{"model":{"type":"eq22","n":3},"seed":1,"blocks":4,"idft_points":64}`,
+		`{"model":{"type":"identity","n":2},"seed":-9,"blocks":2,"normalized_doppler":0.1}`,
+		`{"model":{"type":"exponential","n":3,"rho":0.5,"phase_rad":0.2},"seed":3,"blocks":8}`,
+		`{"model":{"type":"constant","n":4,"rho":0.3,"power":2},"seed":4,"blocks":1,"input_variance":0.25}`,
+		`{"model":{"type":"explicit","covariance":[[1,[0.5,0.1]],[[0.5,-0.1],1]]},"seed":5,"blocks":3}`,
+		`{"model":{"type":"spectral","n":2,"carrier_spacing_hz":10000,"max_doppler_hz":100,"rms_delay_spread_s":1e-6,"delay_step_s":1e-7},"seed":6,"blocks":2}`,
+		`{"model":{"type":"spatial","n":2,"spacing_wavelengths":0.5,"angular_spread_rad":0.1,"mean_angle_rad":1.0},"seed":7,"blocks":2}`,
+		`{"model":{"type":"eq22","fading":"rician","params":{"k_factor":4}},"seed":8,"blocks":2}`,
+		`{"model":{"type":"eq22","fading":"nakagami_m","params":{"m":2}},"seed":9,"blocks":2}`,
+		`{"model":{"type":"eq22","fading":"suzuki","params":{"shadow_sigma_db":4}},"seed":10,"blocks":2}`,
+	}
+	for _, raw := range specs {
+		spec, err := ParseSpec(bytes.NewReader([]byte(raw)))
+		if err != nil {
+			t.Fatalf("ParseSpec(%s): %v", raw, err)
+		}
+		if err := spec.Validate(Limits{}); err != nil {
+			t.Fatalf("Validate(%s): %v", raw, err)
+		}
+		payload := spec.tokenSpec()
+		back, err := ParseSpec(bytes.NewReader(payload))
+		if err != nil {
+			t.Fatalf("token spec of %s does not re-parse: %v\npayload: %s", raw, err, payload)
+		}
+		if err := back.Validate(Limits{}); err != nil {
+			t.Fatalf("token spec of %s does not re-validate: %v\npayload: %s", raw, err, payload)
+		}
+		if got, want := back.setupKey(), spec.setupKey(); got != want {
+			t.Errorf("setup key drifts through the token for %s:\n  original %s\n  rebuilt  %s", raw, want, got)
+		}
+		if again := back.tokenSpec(); !bytes.Equal(again, payload) {
+			t.Errorf("token spec is not a fixed point for %s:\n  first  %s\n  second %s", raw, payload, again)
+		}
+		if back.Seed != spec.Seed || back.Blocks != spec.Blocks {
+			t.Errorf("seed/blocks drift through the token for %s", raw)
+		}
+	}
+}

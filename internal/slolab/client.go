@@ -11,6 +11,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	neturl "net/url"
 	"strconv"
 	"time"
 )
@@ -91,6 +92,10 @@ type SessionInfo struct {
 	N           int    `json:"n"`
 	BlockLength int    `json:"block_length"`
 	Blocks      uint64 `json:"blocks"`
+	// Token is the signed self-describing session token a token-enabled
+	// server returns; it lets any replica sharing the key serve the session
+	// (docs/cluster.md).
+	Token string `json:"token,omitempty"`
 }
 
 // Rejection describes one 429/503 overload answer.
@@ -235,6 +240,13 @@ type StreamOptions struct {
 	// block (time since the previous block of the same request, or since
 	// the request was issued for its first block).
 	Sampler *Sampler
+	// Bases, when non-empty, round-robins the pass's requests across these
+	// base URLs instead of the client's own — the scaling sweep's fan-out
+	// over interchangeable replicas. Request i goes to Bases[i mod len].
+	Bases []string
+	// Token carries the session token on every request (?token=), so
+	// replicas that never saw the create can rebuild the session.
+	Token string
 }
 
 // StreamResult is the outcome of one resuming stream pass.
@@ -311,7 +323,11 @@ func (c *Client) Stream(info *SessionInfo, opts StreamOptions) (*StreamResult, e
 		if len(opts.CutBlocks) > 0 {
 			cut = opts.CutBlocks[reqIdx%len(opts.CutBlocks)]
 		}
-		got, err := c.streamChunk(info.ID, next, count, opts, frame, cut, buf, h, res)
+		base := c.base
+		if len(opts.Bases) > 0 {
+			base = opts.Bases[reqIdx%len(opts.Bases)]
+		}
+		got, err := c.streamChunk(base, info.ID, next, count, opts, frame, cut, buf, h, res)
 		reqIdx++
 		res.Requests++
 		next += got
@@ -349,10 +365,13 @@ func (c *Client) Stream(info *SessionInfo, opts StreamOptions) (*StreamResult, e
 // streamChunk issues one GET over [from, from+count) and consumes complete
 // frames into the hash, applying the configured read faults. It returns how
 // many complete frames arrived.
-func (c *Client) streamChunk(id string, from, count uint64, opts StreamOptions, frame, cutBlocks int, buf []byte, h io.Writer, res *StreamResult) (uint64, error) {
-	url := fmt.Sprintf("%s/v1/sessions/%s/stream?format=bin&from=%d&count=%d", c.base, id, from, count)
+func (c *Client) streamChunk(base, id string, from, count uint64, opts StreamOptions, frame, cutBlocks int, buf []byte, h io.Writer, res *StreamResult) (uint64, error) {
+	url := fmt.Sprintf("%s/v1/sessions/%s/stream?format=bin&from=%d&count=%d", base, id, from, count)
 	if opts.Gaussian {
 		url += "&gaussian=1"
+	}
+	if opts.Token != "" {
+		url += "&token=" + neturl.QueryEscape(opts.Token)
 	}
 	issued := time.Now()
 	resp, err := c.httpc.Get(url)

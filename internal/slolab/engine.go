@@ -40,8 +40,11 @@ type Summary struct {
 	Provenance  Provenance               `json:"provenance"`
 	Phases      map[string]*PhaseMetrics `json:"phases"`
 	Identity    *IdentityReport          `json:"identity,omitempty"`
-	Gates       []GateResult             `json:"gates"`
-	Passed      bool                     `json:"passed"`
+	// Scaling is the horizontal-scaling sweep's report (scaling scenarios
+	// only); its per-replica-count phases live in Phases as "replicas=N".
+	Scaling *ScalingReport `json:"scaling,omitempty"`
+	Gates   []GateResult   `json:"gates"`
+	Passed  bool           `json:"passed"`
 }
 
 // Fingerprint pins the deterministic portion of a run: every field is a pure
@@ -229,6 +232,9 @@ func Run(spec *Spec, opts RunOptions) (*Summary, error) {
 		return nil, err
 	}
 	e := &engine{spec: spec, opts: opts, base: opts.Addr, inProc: opts.Addr == ""}
+	if spec.Scaling != nil {
+		return e.runScalingSweep()
+	}
 	if spec.Fault.SpecFile != "" {
 		pool, err := LoadSessionPool(spec.Fault.SpecFile)
 		if err != nil {
@@ -276,19 +282,7 @@ func Run(spec *Spec, opts RunOptions) (*Summary, error) {
 		}
 	}
 
-	sum := &Summary{
-		Scenario:    spec.Name,
-		Description: spec.Description,
-		Fingerprint: fingerprint(spec),
-		Provenance: Provenance{
-			Commit:    opts.Commit,
-			GoVersion: runtime.Version(),
-			Addr:      opts.Addr,
-			InProcess: e.inProc,
-			StartedAt: time.Now().UTC().Format(time.RFC3339),
-		},
-		Phases: map[string]*PhaseMetrics{},
-	}
+	sum := e.newSummary()
 
 	samples := map[string]*phaseAccum{}
 	for _, name := range phaseOrder {
@@ -317,6 +311,23 @@ func Run(spec *Spec, opts RunOptions) (*Summary, error) {
 	return sum, nil
 }
 
+// newSummary builds the empty summary shell with fingerprint and provenance.
+func (e *engine) newSummary() *Summary {
+	return &Summary{
+		Scenario:    e.spec.Name,
+		Description: e.spec.Description,
+		Fingerprint: fingerprint(e.spec),
+		Provenance: Provenance{
+			Commit:    e.opts.Commit,
+			GoVersion: runtime.Version(),
+			Addr:      e.opts.Addr,
+			InProcess: e.inProc,
+			StartedAt: time.Now().UTC().Format(time.RFC3339),
+		},
+		Phases: map[string]*PhaseMetrics{},
+	}
+}
+
 func (e *engine) logf(format string, args ...any) {
 	if e.opts.Logf != nil {
 		e.opts.Logf(format, args...)
@@ -333,6 +344,12 @@ func fingerprint(spec *Spec) Fingerprint {
 	total := spec.Phases.Warmup.Units + spec.Phases.Inject.Units + spec.Phases.Recover.Units
 	var planned uint64
 	switch {
+	case spec.Scaling != nil:
+		// Each sweep point streams warmup+inject units per client; recover is
+		// unused.
+		planned = uint64(spec.Clients) *
+			uint64(spec.Phases.Warmup.Units+spec.Phases.Inject.Units) *
+			uint64(len(spec.Scaling.Replicas))
 	case spec.Fault.streamingFault():
 		planned = uint64(spec.Clients) * uint64(total)
 	case spec.Fault.Type == FaultConnChurn:

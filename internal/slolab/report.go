@@ -67,6 +67,9 @@ func Evaluate(spec *Spec, sum *Summary) {
 }
 
 func evalGate(g *GateSpec, sum *Summary) GateResult {
+	if g.Type == GateScaling {
+		return evalScalingGate(g, sum)
+	}
 	phase := g.Phase
 	if phase == "" {
 		phase = PhaseInject
@@ -151,6 +154,41 @@ func evalGate(g *GateSpec, sum *Summary) GateResult {
 		if !res.check("retry_after_coverage", coverage, min, ">=") {
 			res.Passed = false
 		}
+	}
+	return res
+}
+
+// evalScalingGate reads the scaling sweep's report instead of a phase: the
+// speedup at the selected replica count (the largest measured when the gate
+// names none) must clear min_speedup. A point with zero token rebuilds at
+// more than one replica also fails — it means the sweep never exercised the
+// stateless token path and the speedup is vacuous.
+func evalScalingGate(g *GateSpec, sum *Summary) GateResult {
+	res := GateResult{Type: g.Type}
+	if sum.Scaling == nil || len(sum.Scaling.Points) == 0 {
+		res.Phase = g.Phase
+		res.skip("no scaling report (sweep did not run)")
+		return res
+	}
+	point := &sum.Scaling.Points[len(sum.Scaling.Points)-1]
+	if g.Replicas != 0 {
+		point = nil
+		for i := range sum.Scaling.Points {
+			if sum.Scaling.Points[i].Replicas == g.Replicas {
+				point = &sum.Scaling.Points[i]
+				break
+			}
+		}
+		if point == nil {
+			res.Phase = scalingPhase(g.Replicas)
+			res.skip("replica count not measured")
+			return res
+		}
+	}
+	res.Phase = scalingPhase(point.Replicas)
+	res.Passed = res.check("speedup", point.Speedup, g.MinSpeedup, ">=")
+	if point.Replicas > 1 && !res.check("token_rebuilds", float64(point.TokenRebuilds), 1, ">=") {
+		res.Passed = false
 	}
 	return res
 }

@@ -1,0 +1,144 @@
+package slolab
+
+import (
+	"testing"
+
+	"repro/internal/chanspec"
+	"repro/internal/service"
+)
+
+// scalingSpec builds a small fast scaling sweep the tests specialize.
+func scalingSpec(name string) *Spec {
+	return &Spec{
+		Name:    name,
+		Seed:    23,
+		Clients: 2,
+		Session: service.SessionSpec{
+			Model:      chanspec.Model{Type: "eq22"},
+			Blocks:     16,
+			IDFTPoints: 64,
+		},
+		BlocksPerRequest: 4,
+		Phases: Phases{
+			Warmup: PhaseSpec{Units: 8},
+			Inject: PhaseSpec{Units: 16},
+		},
+		Fault:   Fault{Type: FaultNone},
+		Scaling: &ScalingSpec{Replicas: []int{1, 2}},
+		Gates: []GateSpec{
+			{Type: GateScaling, MinSpeedup: 0.01},
+			{Type: GateScaling, Replicas: 1, MinSpeedup: 0.01},
+			{Type: GateErrorRate, Phase: "replicas=2", MaxRate: 0},
+		},
+	}
+}
+
+// TestScalingSweep runs the two-point sweep end to end: sessions are created
+// on replica 0 only, every block still arrives when requests round-robin
+// across replicas, the second replica proves it served from the token alone
+// (rebuild counter), and the report's arithmetic holds.
+func TestScalingSweep(t *testing.T) {
+	spec := scalingSpec("mini-sweep")
+	sum, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Scaling == nil || len(sum.Scaling.Points) != 2 {
+		t.Fatalf("scaling report: %+v", sum.Scaling)
+	}
+	for i, want := range []int{1, 2} {
+		p := sum.Scaling.Points[i]
+		if p.Replicas != want {
+			t.Fatalf("point %d replicas = %d, want %d", i, p.Replicas, want)
+		}
+		// Every client streams the full inject range regardless of fan-out.
+		if wantBlocks := uint64(spec.Clients * spec.Phases.Inject.Units); p.Blocks != wantBlocks {
+			t.Errorf("replicas=%d served %d blocks, want %d", want, p.Blocks, wantBlocks)
+		}
+		if p.BlocksPerSec <= 0 {
+			t.Errorf("replicas=%d has no throughput: %+v", want, p)
+		}
+		pm := sum.Phases[scalingPhase(want)]
+		if pm == nil {
+			t.Fatalf("phase %q not recorded", scalingPhase(want))
+		}
+		if pm.Errors != 0 {
+			t.Errorf("phase %q has %d errors", scalingPhase(want), pm.Errors)
+		}
+		if pm.Creates != spec.Clients {
+			t.Errorf("phase %q creates = %d, want %d", scalingPhase(want), pm.Creates, spec.Clients)
+		}
+	}
+	if p := sum.Scaling.Points[0]; p.Speedup != 1 || p.Efficiency != 1 {
+		t.Errorf("baseline point must have speedup 1: %+v", p)
+	}
+	if p := sum.Scaling.Points[0]; p.TokenRebuilds != 0 {
+		t.Errorf("single replica rebuilt tokens: %+v", p)
+	}
+	// The second replica never saw the creates, so any block it served came
+	// from the token path.
+	if p := sum.Scaling.Points[1]; p.TokenRebuilds == 0 {
+		t.Errorf("two-replica point exercised no token rebuilds: %+v", p)
+	}
+	if !sum.Passed {
+		t.Fatalf("gates failed: %+v", sum.Gates)
+	}
+	// The fingerprint stays a pure function of the spec.
+	if want := uint64(2 * (8 + 16) * 2); sum.Fingerprint.PlannedBlocks != want {
+		t.Errorf("PlannedBlocks = %d, want %d", sum.Fingerprint.PlannedBlocks, want)
+	}
+}
+
+// TestScalingSweepRejectsExternalAddr pins the in-process-only contract: the
+// sweep owns replica lifecycle, so it cannot run against -addr.
+func TestScalingSweepRejectsExternalAddr(t *testing.T) {
+	if _, err := Run(scalingSpec("addr-sweep"), RunOptions{Addr: "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("scaling sweep against an external address must fail")
+	}
+}
+
+// TestScalingSpecValidation covers the sweep's structural rules.
+func TestScalingSpecValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"fault must be none", func(s *Spec) {
+			s.Fault = Fault{Type: FaultSlowConsumer, BytesPerSec: 1 << 20}
+		}},
+		{"replicas must not be empty", func(s *Spec) {
+			s.Scaling.Replicas = nil
+		}},
+		{"replicas must start at 1", func(s *Spec) {
+			s.Scaling.Replicas = []int{2, 4}
+		}},
+		{"replicas must ascend", func(s *Spec) {
+			s.Scaling.Replicas = []int{1, 4, 2}
+		}},
+		{"gate phase must be measured", func(s *Spec) {
+			s.Gates = append(s.Gates, GateSpec{Type: GateErrorRate, Phase: "replicas=3"})
+		}},
+		{"scaling gate replicas must be measured", func(s *Spec) {
+			s.Gates = append(s.Gates, GateSpec{Type: GateScaling, Replicas: 3, MinSpeedup: 0.5})
+		}},
+		{"scaling gate needs min_speedup", func(s *Spec) {
+			s.Gates = append(s.Gates, GateSpec{Type: GateScaling})
+		}},
+		{"scaling gate needs a sweep", func(s *Spec) {
+			s.Scaling = nil
+			s.Gates = []GateSpec{{Type: GateScaling, MinSpeedup: 0.5}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := scalingSpec("validate-sweep")
+			tc.mutate(spec)
+			if err := spec.Validate(); err == nil {
+				t.Fatalf("%s: spec accepted", tc.name)
+			}
+		})
+	}
+	if err := scalingSpec("ok-sweep").Validate(); err != nil {
+		t.Fatalf("base scaling spec rejected: %v", err)
+	}
+}

@@ -101,6 +101,9 @@ const (
 	// GateRetryAfter floors both the number of overload rejections observed
 	// and the fraction of them carrying a Retry-After header.
 	GateRetryAfter = "retry_after"
+	// GateScaling floors the horizontal-scaling speedup of one replica count
+	// of a scaling sweep (blocks/s at replicas=R over blocks/s at replicas=1).
+	GateScaling = "scaling"
 )
 
 // Spec is one declarative SLO scenario.
@@ -131,8 +134,41 @@ type Spec struct {
 	Phases Phases `json:"phases"`
 	// Fault selects and parameterizes the inject-phase fault.
 	Fault Fault `json:"fault"`
+	// Scaling, when set, replaces the three-phase plan with a horizontal
+	// scaling sweep: for each replica count the engine starts that many
+	// token-sharing in-process replicas, creates the sessions on replica 0
+	// and streams the inject units round-robined across all replicas via the
+	// session tokens (docs/cluster.md), recording one "replicas=N" phase per
+	// point. Requires the none fault and an in-process run.
+	Scaling *ScalingSpec `json:"scaling,omitempty"`
 	// Gates is the release-criteria list; all must pass.
 	Gates []GateSpec `json:"gates"`
+}
+
+// ScalingSpec configures the horizontal-scaling sweep.
+type ScalingSpec struct {
+	// Replicas lists the replica counts to measure, ascending and starting at
+	// 1 (the single-replica point is the speedup baseline).
+	Replicas []int `json:"replicas"`
+}
+
+// scalingPhase names the recorded phase of one sweep point.
+func scalingPhase(replicas int) string {
+	return fmt.Sprintf("replicas=%d", replicas)
+}
+
+// scalingPhaseKnown reports whether name is a "replicas=N" phase the
+// scenario's scaling sweep will record.
+func (s *Spec) scalingPhaseKnown(name string) bool {
+	if s.Scaling == nil {
+		return false
+	}
+	for _, r := range s.Scaling.Replicas {
+		if name == scalingPhase(r) {
+			return true
+		}
+	}
+	return false
 }
 
 // Phases is the three-phase execution plan. Warmup results are recorded but
@@ -250,6 +286,12 @@ type GateSpec struct {
 	// MinCoverage floors the retry_after gate's Retry-After coverage
 	// fraction; zero selects 1 (every rejection must carry the header).
 	MinCoverage float64 `json:"min_coverage,omitempty"`
+	// Replicas selects the scaling-sweep point a scaling gate reads; zero
+	// selects the largest measured replica count.
+	Replicas int `json:"replicas,omitempty"`
+	// MinSpeedup floors the scaling gate's speedup at the selected point
+	// (blocks/s relative to the replicas=1 point).
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
 }
 
 // blocksPerRequest returns the resume-loop chunk size in effect.
@@ -354,23 +396,45 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("slolab %q: spec_file is only valid with the spec_churn fault (got %q): %w",
 			s.Name, s.Fault.Type, ErrBadSpec)
 	}
+	if s.Scaling != nil {
+		if s.Fault.Type != FaultNone {
+			return fmt.Errorf("slolab %q: scaling sweeps need the none fault (got %q): %w",
+				s.Name, s.Fault.Type, ErrBadSpec)
+		}
+		if len(s.Scaling.Replicas) == 0 {
+			return fmt.Errorf("slolab %q: scaling needs at least one replica count: %w", s.Name, ErrBadSpec)
+		}
+		if s.Scaling.Replicas[0] != 1 {
+			return fmt.Errorf("slolab %q: scaling replicas must start at 1 (the speedup baseline), got %d: %w",
+				s.Name, s.Scaling.Replicas[0], ErrBadSpec)
+		}
+		for i := 1; i < len(s.Scaling.Replicas); i++ {
+			if s.Scaling.Replicas[i] <= s.Scaling.Replicas[i-1] {
+				return fmt.Errorf("slolab %q: scaling replicas must be ascending, got %v: %w",
+					s.Name, s.Scaling.Replicas, ErrBadSpec)
+			}
+		}
+	}
 	if len(s.Gates) == 0 {
 		return fmt.Errorf("slolab %q: no gates: %w", s.Name, ErrBadSpec)
 	}
 	for i := range s.Gates {
-		if err := s.Gates[i].validate(&s.Fault); err != nil {
+		if err := s.Gates[i].validate(s); err != nil {
 			return fmt.Errorf("slolab %q gate %d: %w", s.Name, i, err)
 		}
 	}
 	return nil
 }
 
-// validate checks one gate against the scenario's fault.
-func (g *GateSpec) validate(f *Fault) error {
+// validate checks one gate against the scenario it belongs to.
+func (g *GateSpec) validate(s *Spec) error {
+	f := &s.Fault
 	switch g.Phase {
 	case "", PhaseWarmup, PhaseInject, PhaseRecover:
 	default:
-		return fmt.Errorf("unknown phase %q: %w", g.Phase, ErrBadSpec)
+		if !s.scalingPhaseKnown(g.Phase) {
+			return fmt.Errorf("unknown phase %q: %w", g.Phase, ErrBadSpec)
+		}
 	}
 	switch g.Type {
 	case GateLatency:
@@ -414,6 +478,17 @@ func (g *GateSpec) validate(f *Fault) error {
 		}
 		if g.MinCoverage < 0 || g.MinCoverage > 1 {
 			return fmt.Errorf("retry_after min_coverage %g outside [0, 1]: %w", g.MinCoverage, ErrBadSpec)
+		}
+	case GateScaling:
+		if s.Scaling == nil {
+			return fmt.Errorf("scaling gate needs a scaling sweep: %w", ErrBadSpec)
+		}
+		if g.MinSpeedup <= 0 {
+			return fmt.Errorf("scaling gate needs min_speedup > 0: %w", ErrBadSpec)
+		}
+		if g.Replicas != 0 && !s.scalingPhaseKnown(scalingPhase(g.Replicas)) {
+			return fmt.Errorf("scaling gate reads replicas=%d, which the sweep does not measure: %w",
+				g.Replicas, ErrBadSpec)
 		}
 	case "":
 		return fmt.Errorf("gate has no type: %w", ErrBadSpec)
